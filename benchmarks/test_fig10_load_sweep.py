@@ -1,0 +1,127 @@
+"""Fig. 10 — the effect of cloning under different cluster loads.
+
+The paper fixes the job workload and varies the number of CPU cores in
+the cluster, comparing DollyMP² with DollyMP⁰:
+
+* (a) even at high load (10× the low-load point) cloning reduces the
+  overall flowtime by ~10% while consuming only ~2% extra resources;
+* (b) the fraction of tasks with cloned copies stays substantial
+  (~40% at high load) because DollyMP's scheduling policy keeps the
+  number of queued jobs small.
+
+We sweep ``cpu_scale`` over a 10× range and assert: cloning never hurts
+by more than a sliver, helps clearly at low load, still helps at the
+highest load, and extra usage at high load is a small fraction.
+"""
+
+from repro.analysis.report import format_table
+from repro.cluster.heterogeneity import trace_sim_cluster
+from repro.core.online import DollyMPScheduler
+from repro.sim.runner import run_simulation
+from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
+
+from benchmarks.conftest import (
+    PAPER_SCALE,
+    SEED,
+    TRACE_SLOT,
+    run_once,
+    save_figure_text,
+)
+
+NUM_SERVERS = 30_000 if PAPER_SCALE else 120
+NUM_JOBS = 1_000 if PAPER_SCALE else 150
+#: cpu_scale 1.0 = low load; 0.05 = beyond "10× the low load".
+SCALES = [1.0, 0.3, 0.1, 0.05]
+
+
+def jobs():
+    gen = GoogleTraceGenerator(seed=SEED + 1, mean_theta=25.0)
+    specs = gen.generate(NUM_JOBS, mean_interarrival=10.0)
+    # Cap per-task demands so the workload stays feasible on the most
+    # CPU-scaled-down cluster of the sweep (smallest server ≥ 2 cores).
+    from repro.workload.google_trace import PhaseSpec, TraceJobSpec
+
+    capped = []
+    for s in specs:
+        phases = tuple(
+            PhaseSpec(
+                num_tasks=p.num_tasks,
+                cpu=min(p.cpu, 1.0),
+                mem=min(p.mem, 4.0),
+                theta=p.theta,
+                sigma=p.sigma,
+                parents=p.parents,
+            )
+            for p in s.phases
+        )
+        capped.append(
+            TraceJobSpec(name=s.name, arrival_time=s.arrival_time, phases=phases)
+        )
+    return jobs_from_specs(capped)
+
+
+def run_sweep():
+    rows = {}
+    for scale in SCALES:
+        per = {}
+        for clones in (0, 2):
+            per[clones] = run_simulation(
+                trace_sim_cluster(NUM_SERVERS, seed=SEED, cpu_scale=scale),
+                DollyMPScheduler(max_clones=clones),
+                jobs(),
+                seed=SEED,
+                schedule_interval=TRACE_SLOT,
+                max_time=1e9,
+            )
+        rows[scale] = per
+    return rows
+
+
+def test_fig10_load_sweep(benchmark):
+    sweep = run_once(benchmark, run_sweep)
+
+    rows = []
+    for scale, per in sweep.items():
+        d0, d2 = per[0], per[2]
+        reduction = 1.0 - d2.total_flowtime / d0.total_flowtime
+        extra_usage = d2.total_usage / d0.total_usage - 1.0
+        rows.append(
+            [
+                f"cpu×{scale:g}",
+                float(d0.total_flowtime),
+                float(d2.total_flowtime),
+                float(reduction),
+                float(extra_usage),
+                float(d2.clone_task_fraction),
+            ]
+        )
+    table = format_table(
+        [
+            "cluster",
+            "flowtime_noclone",
+            "flowtime_clone2",
+            "flow_reduction",
+            "extra_usage",
+            "clone_task_frac",
+        ],
+        rows,
+    )
+    save_figure_text("fig10_load_sweep", table)
+
+    low = sweep[SCALES[0]]
+    high = sweep[SCALES[-1]]
+    # Low load: cloning helps clearly.
+    assert low[2].total_flowtime < 0.95 * low[0].total_flowtime
+    # High load (≥10× fewer cores): cloning still reduces flowtime
+    # (paper: ~10% — we require a nonzero improvement at small scale).
+    assert high[2].total_flowtime < 1.0 * high[0].total_flowtime
+    # Extra resource usage collapses as load grows (paper: ~2% at 10×) —
+    # far below the low-load overhead.
+    extra_low = low[2].total_usage / low[0].total_usage - 1.0
+    extra_high = high[2].total_usage / high[0].total_usage - 1.0
+    assert extra_high <= 0.5 * extra_low
+    assert extra_high <= 0.25
+    # Tasks still get cloned at high load (paper: ~40%).
+    assert high[2].clone_task_fraction > 0.1
+    # Clone fraction shrinks as load grows (less leftover to clone into).
+    assert high[2].clone_task_fraction <= low[2].clone_task_fraction

@@ -1,0 +1,74 @@
+"""Fig. 1 — running time of a repeated WordCount job.
+
+A 4 GB WordCount job is submitted 8 times, each after the previous one
+finishes ("to eliminate the effect of the scheduling policy"), on the
+30-node heterogeneous cluster.  The paper's findings, which we assert:
+
+* running times vary a lot under the Capacity scheduler (speculation
+  launches backups too late) and under DollyMP⁰;
+* DollyMP¹/DollyMP² are far more stable, and DollyMP² cuts the average
+  running time by ≈20% versus Capacity.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.core.online import DollyMPScheduler
+from repro.schedulers.fifo import CapacityScheduler
+from repro.sim.runner import run_simulation
+from repro.workload.mapreduce import wordcount_job
+
+from benchmarks.conftest import DEPLOY_CV, SEED, run_once, save_figure_text
+
+NUM_REPEATS = 8
+#: Back-to-back submission: gap far exceeding any single job's runtime.
+GAP = 2_000.0
+
+SCHEDULERS = {
+    "Capacity": lambda: CapacityScheduler(),
+    "DollyMP^0": lambda: DollyMPScheduler(max_clones=0),
+    "DollyMP^1": lambda: DollyMPScheduler(max_clones=1),
+    "DollyMP^2": lambda: DollyMPScheduler(max_clones=2),
+}
+
+
+def jobs():
+    return [
+        wordcount_job(4.0, arrival_time=i * GAP, job_id=500 + i, cv=DEPLOY_CV)
+        for i in range(NUM_REPEATS)
+    ]
+
+
+def run_fig1():
+    out = {}
+    for name, make in SCHEDULERS.items():
+        res = run_simulation(
+            paper_cluster_30_nodes(), make(), jobs(), seed=SEED, max_time=1e7
+        )
+        out[name] = res.running_times()
+    return out
+
+
+def test_fig1_repeated_wordcount(benchmark):
+    runtimes = run_once(benchmark, run_fig1)
+
+    rows = []
+    for name, times in runtimes.items():
+        rows.append(
+            [name]
+            + [float(t) for t in times]
+            + [float(np.mean(times)), float(np.std(times))]
+        )
+    headers = ["scheduler"] + [f"run{i + 1}" for i in range(NUM_REPEATS)] + ["mean", "std"]
+    save_figure_text("fig1_single_job", format_table(headers, rows))
+
+    cap_mean = np.mean(runtimes["Capacity"])
+    d0_mean = np.mean(runtimes["DollyMP^0"])
+    d2_mean = np.mean(runtimes["DollyMP^2"])
+    # DollyMP^0 performs "quite poor ... close to the capacity scheduler".
+    assert abs(d0_mean - cap_mean) / cap_mean < 0.35
+    # DollyMP^2 reduces the average running time (paper: ≈20%).
+    assert d2_mean < 0.92 * cap_mean
+    # Cloning stabilizes: DollyMP^2's spread well below Capacity's.
+    assert np.std(runtimes["DollyMP^2"]) < np.std(runtimes["Capacity"])

@@ -1,0 +1,79 @@
+"""Fig. 2 — the motivating example.
+
+Three jobs on one unit-capacity server: Job 1 demands (1.0, 1.0) for
+36 s; Jobs 2 and 3 demand (0.5, 0.5) for 8 s.  The paper reports total
+completion 46 s under Tetris (42 s with opportunistic clones) versus
+28 s under DollyMP (which schedules the small jobs first and clones
+them); even without clones DollyMP's order achieves 34 s... our
+deterministic reproduction regenerates the schedule table and checks:
+
+* Tetris runs Job 1 first (alignment-driven), total completion 36 + 44
+  + 44 = 124 job-seconds, i.e. per-job completions (36, 44, 44);
+* DollyMP runs Jobs 2, 3 first: completions (44, 8, 8) — the paper's
+  "28 seconds" counts job 2 + job 3 completion plus scheduling of job 1
+  start (8 + 8 + ... ); we report both per-job completions and the sum,
+  and assert DollyMP's total is at least 30% below Tetris'.
+"""
+
+from repro.analysis.report import format_table
+from repro.cluster.heterogeneity import single_server_cluster
+from repro.core.online import DollyMPScheduler
+from repro.resources import Resources
+from repro.schedulers.tetris import TetrisScheduler
+from repro.sim.runner import run_simulation
+from repro.workload.distributions import Deterministic
+from repro.workload.job import Job
+from repro.workload.phase import Phase
+
+from benchmarks.conftest import run_once, save_figure_text
+
+
+def fig2_jobs():
+    return [
+        Job([Phase(0, 1, Resources.of(1.0, 1.0), Deterministic(36.0))], job_id=1, name="job1"),
+        Job([Phase(0, 1, Resources.of(0.5, 0.5), Deterministic(8.0))], job_id=2, name="job2"),
+        Job([Phase(0, 1, Resources.of(0.5, 0.5), Deterministic(8.0))], job_id=3, name="job3"),
+    ]
+
+
+def run_fig2():
+    out = {}
+    for name, make in {
+        "Tetris": lambda: TetrisScheduler(),
+        "DollyMP^0": lambda: DollyMPScheduler(max_clones=0),
+        "DollyMP^1": lambda: DollyMPScheduler(max_clones=1, delta=1.0),
+    }.items():
+        out[name] = run_simulation(
+            single_server_cluster(Resources.of(1.0, 1.0)),
+            make(),
+            fig2_jobs(),
+            max_time=1e4,
+        )
+    return out
+
+
+def test_fig2_motivating_example(benchmark):
+    results = run_once(benchmark, run_fig2)
+
+    rows = []
+    for name, res in results.items():
+        comps = [r.finish_time for r in sorted(res.records, key=lambda r: r.job_id)]
+        rows.append([name] + comps + [sum(comps)])
+    text = format_table(
+        ["scheduler", "job1_done", "job2_done", "job3_done", "total"], rows
+    )
+    save_figure_text("fig2_motivating", text)
+
+    tetris = results["Tetris"]
+    dolly0 = results["DollyMP^0"]
+    dolly1 = results["DollyMP^1"]
+    # Tetris: Job 1 (perfect alignment) first → (36, 44, 44).
+    t = {r.job_id: r.finish_time for r in tetris.records}
+    assert t[1] == 36.0 and t[2] == 44.0 and t[3] == 44.0
+    # DollyMP: small jobs first → jobs 2, 3 done at 8 s, job 1 at 44 s.
+    d = {r.job_id: r.finish_time for r in dolly0.records}
+    assert d[2] == 8.0 and d[3] == 8.0 and d[1] == 44.0
+    # Paper's headline: DollyMP total completion well below Tetris'.
+    assert dolly0.total_flowtime <= 0.7 * tetris.total_flowtime
+    # Cloning deterministic tasks cannot help, but must not hurt either.
+    assert dolly1.total_flowtime <= dolly0.total_flowtime + 1e-9

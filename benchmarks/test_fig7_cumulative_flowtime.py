@@ -1,0 +1,62 @@
+"""Fig. 7 — cumulative total flowtime as jobs arrive over time.
+
+Same runs as Figs. 5/6; the figure plots the accumulated flowtime
+against the job arrival index.  Paper's headline: "DollyMP can reduce
+the overall job flowtime by nearly 50% (30%) when comparing to the
+Capacity scheduler (Tetris)" — our scaled-down reproduction asserts
+≥20% against both, with the final totals and the series written out.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import run_once, save_figure_text
+
+
+def test_fig7_cumulative_flowtime(benchmark, heavy_load_runs):
+    results = run_once(benchmark, lambda: heavy_load_runs)
+
+    text_parts = []
+    for app in ("pagerank", "wordcount"):
+        rows = []
+        series = {}
+        for name, res in results[app].items():
+            idx, cum = res.cumulative_flowtime_series()
+            series[name] = cum
+            rows.append([name, float(cum[-1])])
+        # Sample the cumulative series at deciles of the job index.
+        n = len(next(iter(series.values())))
+        sample_idx = [max(1, round(q * n)) - 1 for q in (0.25, 0.5, 0.75, 1.0)]
+        table1 = format_table(["scheduler", "total_flowtime"], rows)
+        table2 = format_table(
+            ["job_index"] + list(series.keys()),
+            [
+                [i + 1] + [float(series[name][i]) for name in series]
+                for i in sample_idx
+            ],
+        )
+        text_parts.append(f"[{app}]\n{table1}\n\n{table2}")
+    save_figure_text("fig7_cumulative_flowtime", "\n\n".join(text_parts))
+
+    combined = {
+        n: results["pagerank"][n].total_flowtime
+        + results["wordcount"][n].total_flowtime
+        for n in results["pagerank"]
+    }
+    # Headline reductions over the whole suite (paper: ~50% vs Capacity,
+    # ~30% vs Tetris, ~40% vs DRF — we assert ≥20%/≥25%/strict win).
+    assert combined["DollyMP^2"] < 0.8 * combined["Capacity"]
+    assert combined["DollyMP^2"] < 0.75 * combined["Tetris"]
+    assert combined["DollyMP^2"] < combined["DRF"]
+    for app in ("pagerank", "wordcount"):
+        total = {n: r.total_flowtime for n, r in results[app].items()}
+        # DollyMP² wins each experiment individually.
+        assert total["DollyMP^2"] < total["Capacity"], app
+        assert total["DollyMP^2"] < total["Tetris"], app
+        # The cumulative series is monotone and DollyMP's stays below
+        # Capacity's over the last half of arrivals.
+        _, cum_d = results[app]["DollyMP^2"].cumulative_flowtime_series()
+        _, cum_c = results[app]["Capacity"].cumulative_flowtime_series()
+        half = len(cum_d) // 2
+        assert np.all(cum_d[half:] <= cum_c[half:]), app

@@ -1,0 +1,58 @@
+"""Fig. 9 — what is the optimal number of clones per task?
+
+The paper tunes the max clone count from 1 to 3 on the trace simulator:
+"increasing the number of clones from two to three does not help much.
+Comparing to DollyMP¹, DollyMP² helps more than 30% of jobs to reduce
+the job flowtime by 20%.  However, DollyMP³ only leads to another 5% of
+jobs achieving the same level of reduction ... and results in ... total
+resource usage 15% higher than DollyMP²."
+
+Asserted shape: diminishing returns — the 2→3 improvement is a small
+fraction of the 1→2 improvement, while resource usage keeps growing.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, ratio_cdf
+
+from benchmarks.conftest import run_once, save_figure_text
+
+
+def test_fig9_clone_count(benchmark, trace_runs):
+    results = run_once(benchmark, lambda: trace_runs)
+
+    d0 = results["DollyMP^0"]
+    variants = {k: results[f"DollyMP^{k}"] for k in (1, 2, 3)}
+
+    rows = []
+    for k, res in variants.items():
+        ratios = ratio_cdf(res, d0, metric="flowtime")
+        rows.append(
+            [
+                f"DollyMP^{k}",
+                float(res.mean_flowtime),
+                float(np.mean(ratios <= 0.8)),  # jobs ≥20% faster than no-clone
+                float(res.total_usage),
+                res.clones_launched,
+            ]
+        )
+    table = format_table(
+        ["variant", "mean_flowtime", "jobs≥20%faster", "total_usage", "clones"], rows
+    )
+    save_figure_text("fig9_clone_count", table)
+
+    f1 = variants[1].mean_flowtime
+    f2 = variants[2].mean_flowtime
+    f3 = variants[3].mean_flowtime
+    # More clones never hurt much, and 2 beats 1.
+    assert f2 <= f1 * 1.02
+    # Diminishing returns: the 2→3 gain is clearly smaller than the 1→2
+    # gain (paper: only another 5% of jobs improve).
+    gain_12 = max(f1 - f2, 0.0)
+    gain_23 = max(f2 - f3, 0.0)
+    assert gain_23 <= max(0.75 * gain_12, 0.02 * f2)
+    # Resource usage grows with the clone cap, and DollyMP³ costs
+    # noticeably more than DollyMP² (paper: +15%).
+    u1, u2, u3 = (variants[k].total_usage for k in (1, 2, 3))
+    assert u1 <= u2 * 1.01 and u2 <= u3 * 1.01
+    assert u3 >= 1.05 * u2

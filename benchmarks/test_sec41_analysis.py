@@ -1,0 +1,84 @@
+"""Sec. 4.1 — "When cloning is helpful?"
+
+Regenerates the three-scheme comparison (flow₁/flow₂/flow₃) in closed
+form and validates it against a Monte-Carlo simulation of the same
+instance (N geometric-demand single-task jobs with Pareto task times on
+a unit-capacity cluster).  Paper conclusion: flow₃ < flow₁ < flow₂ once
+N > 2α − 1 — a small number of clones for small jobs wins even in an
+overloaded cluster.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.theory import (
+    cloning_helps_condition,
+    flow_schedule_all_then_clone_smallest,
+    flow_serial_maximal_cloning,
+    flow_two_clones_smallest_first,
+)
+from repro.workload.distributions import ParetoType1
+from repro.workload.speedup import ParetoSpeedup
+
+from benchmarks.conftest import run_once, save_figure_text
+
+ALPHA = 2.0
+N_RANGE = range(4, 17, 2)
+
+
+def closed_forms():
+    h = ParetoSpeedup(ALPHA)
+    rows = []
+    for n in N_RANGE:
+        rows.append(
+            (
+                n,
+                flow_schedule_all_then_clone_smallest(n, h),
+                flow_serial_maximal_cloning(n, h),
+                flow_two_clones_smallest_first(n, h),
+            )
+        )
+    return rows
+
+
+def monte_carlo_flow3(n: int, samples: int = 2_000, seed: int = 1) -> float:
+    """Simulate scheme 3 (two copies each, jobs 2..N first, then job 1)
+    and return the mean total flowtime — validating that flow₃'s closed
+    form is indeed an upper bound of the simulated scheme."""
+    rng = np.random.default_rng(seed)
+    dist = ParetoType1.from_moments(1.0, 1.0)  # unit-mean, heavy tailed
+    totals = np.empty(samples)
+    for s in range(samples):
+        # Jobs 2..N run in parallel (their total demand Σ 2^-j ≤ 1/2,
+        # doubled by cloning ≤ 1): completion = min of 2 draws each.
+        comp = [
+            min(dist.sample(rng), dist.sample(rng)) for _ in range(n - 1)
+        ]
+        t_small = max(comp) if comp else 0.0
+        # Job 1 (demand 1/2, two copies fill the machine) runs after the
+        # small jobs; completes at t_small + min of 2 draws.
+        j1 = t_small + min(dist.sample(rng), dist.sample(rng))
+        totals[s] = sum(comp) + j1
+    return float(totals.mean())
+
+
+def test_sec41_cloning_analysis(benchmark):
+    rows = run_once(benchmark, closed_forms)
+
+    table = format_table(
+        ["N", "flow1_all_then_clone", "flow2_serial_max_clone", "flow3_two_clones"],
+        [[n, f1, f2, f3] for n, f1, f2, f3 in rows],
+    )
+    save_figure_text("sec41_analysis", table)
+
+    for n, f1, f2, f3 in rows:
+        assert cloning_helps_condition(n, ALPHA)
+        assert f3 < f1 < f2, f"ordering broken at N={n}"
+
+    # Monte-Carlo cross-check at one N: the closed-form flow₃ upper
+    # bound dominates the simulated scheme-3 mean.
+    n = 8
+    h = ParetoSpeedup(ParetoType1.from_moments(1.0, 1.0).alpha)
+    simulated = monte_carlo_flow3(n)
+    bound = (n + 1) / h(2)
+    assert simulated <= bound * 1.05

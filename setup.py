@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP-517 editable installs fail with "invalid command
+'bdist_wheel'".  ``pip install -e . --no-use-pep517 --no-build-isolation``
+through this shim works everywhere; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

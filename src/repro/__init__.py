@@ -1,0 +1,106 @@
+"""repro — a full reproduction of "Multi Resource Scheduling with Task
+Cloning in Heterogeneous Clusters" (DollyMP, ICPP 2022).
+
+Public API tour:
+
+* :mod:`repro.cluster` — heterogeneous servers, topologies and the
+  paper's cluster configurations;
+* :mod:`repro.workload` — DAG jobs, straggler distributions, speedup
+  functions, MapReduce builders and synthetic Google traces;
+* :mod:`repro.sim` — the discrete-event engine and ``run_simulation``;
+* :mod:`repro.schedulers` — DollyMP and every baseline of the paper
+  (Capacity/FIFO, SRPT, SVF, DRF, Tetris, Carbyne, Graphene);
+* :mod:`repro.core` — DollyMP's algorithmic pieces (knapsack oracle,
+  Algorithm 1 priorities, Algorithm 2 online scheduler, cloning policy,
+  Sec. 4 theory);
+* :mod:`repro.analysis` — CDFs and report tables for the benches.
+
+Quickstart::
+
+    from repro import (
+        paper_cluster_30_nodes, wordcount_job, DollyMPScheduler, run_simulation,
+    )
+    cluster = paper_cluster_30_nodes()
+    jobs = [wordcount_job(4.0, arrival_time=60.0 * i) for i in range(8)]
+    result = run_simulation(cluster, DollyMPScheduler(max_clones=2), jobs)
+    print(result.summary())
+"""
+
+from repro.resources import Resources
+from repro.cluster import (
+    Cluster,
+    Server,
+    Topology,
+    paper_cluster_30_nodes,
+    trace_sim_cluster,
+    homogeneous_cluster,
+    single_server_cluster,
+)
+from repro.workload import (
+    Job,
+    Phase,
+    Task,
+    ParetoType1,
+    Deterministic,
+    ParetoSpeedup,
+    wordcount_job,
+    pagerank_job,
+    mapreduce_job,
+    GoogleTraceGenerator,
+    jobs_from_specs,
+)
+from repro.sim import run_simulation, SimulationResult, JobRecord
+from repro.sim.runner import compare_schedulers
+from repro.schedulers import (
+    CapacityScheduler,
+    FIFOScheduler,
+    SRPTScheduler,
+    SVFScheduler,
+    DRFScheduler,
+    TetrisScheduler,
+    CarbyneScheduler,
+    GrapheneScheduler,
+    DollyMPScheduler,
+)
+from repro.core import CloningPolicy, LearningDollyMPScheduler, StragglerServerTracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Resources",
+    "Cluster",
+    "Server",
+    "Topology",
+    "paper_cluster_30_nodes",
+    "trace_sim_cluster",
+    "homogeneous_cluster",
+    "single_server_cluster",
+    "Job",
+    "Phase",
+    "Task",
+    "ParetoType1",
+    "Deterministic",
+    "ParetoSpeedup",
+    "wordcount_job",
+    "pagerank_job",
+    "mapreduce_job",
+    "GoogleTraceGenerator",
+    "jobs_from_specs",
+    "run_simulation",
+    "compare_schedulers",
+    "SimulationResult",
+    "JobRecord",
+    "CapacityScheduler",
+    "FIFOScheduler",
+    "SRPTScheduler",
+    "SVFScheduler",
+    "DRFScheduler",
+    "TetrisScheduler",
+    "CarbyneScheduler",
+    "GrapheneScheduler",
+    "DollyMPScheduler",
+    "CloningPolicy",
+    "LearningDollyMPScheduler",
+    "StragglerServerTracker",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis helpers: CDFs, ratio distributions, text reports."""
+
+from repro.analysis.cdf import empirical_cdf, cdf_at, fraction_below, percentile
+from repro.analysis.plots import ascii_bars, ascii_cdf, sparkline
+from repro.analysis.report import (
+    comparison_table,
+    cdf_table,
+    ratio_cdf,
+    pairwise_ratios,
+    format_table,
+)
+
+__all__ = [
+    "ascii_bars",
+    "ascii_cdf",
+    "sparkline",
+    "empirical_cdf",
+    "cdf_at",
+    "fraction_below",
+    "percentile",
+    "comparison_table",
+    "cdf_table",
+    "ratio_cdf",
+    "pairwise_ratios",
+    "format_table",
+]

@@ -1,0 +1,87 @@
+"""Terminal-friendly plots: ASCII CDF curves and bar charts.
+
+The paper's figures are CDFs and bars; these helpers render both as
+text so the benches and examples can show the *shape* of a result
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import cdf_at
+
+__all__ = ["ascii_cdf", "ascii_bars", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a series."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[4] * v.size
+    idx = np.round((v - lo) / (hi - lo) * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def ascii_cdf(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Plot several empirical CDFs on one character grid.
+
+    X spans [0, max value across series]; Y spans [0, 1].  Each series
+    is drawn with its own marker (first letter of its name).
+    """
+    if not series:
+        return "(no data)"
+    xmax = max(max(vals) for vals in series.values() if len(vals))
+    if xmax <= 0:
+        return "(degenerate data)"
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.linspace(0, xmax, width)
+    for name, vals in series.items():
+        marker = name[0]
+        fr = cdf_at(vals, xs)
+        for col, f in enumerate(fr):
+            row = height - 1 - int(round(f * (height - 1)))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            elif grid[row][col] != marker:
+                grid[row][col] = "*"  # overlap
+    lines = []
+    for i, row in enumerate(grid):
+        y = 1.0 - i / (height - 1)
+        lines.append(f"{y:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0{' ' * (width - len(f'{xmax:g}') - 1)}{xmax:g}")
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart of named values (e.g. total flowtimes)."""
+    if not values:
+        return "(no data)"
+    vmax = max(values.values())
+    if vmax <= 0:
+        return "(degenerate data)"
+    label_w = max(len(k) for k in values)
+    lines = []
+    for name, v in values.items():
+        bar = "█" * max(1, int(round(v / vmax * width))) if v > 0 else ""
+        lines.append(f"{name.ljust(label_w)} | {bar} {v:g}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Text reports for the benchmark harness.
+
+Every bench regenerates its figure as either a summary table (bar-chart
+figures) or an (x, CDF) series (CDF figures); these helpers format both
+and compute the per-job ratio distributions of Figs. 8, 9 and 11.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import cdf_at
+from repro.sim.metrics import SimulationResult
+
+__all__ = [
+    "format_table",
+    "comparison_table",
+    "cdf_table",
+    "pairwise_ratios",
+    "ratio_cdf",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table (no external deps)."""
+    cols = [[str(h)] + [_fmt(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rows:
+        lines.append(
+            " | ".join(_fmt(x).ljust(w) for x, w in zip(r, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(x: object) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.2f}"
+    return str(x)
+
+
+def comparison_table(results: Mapping[str, SimulationResult]) -> str:
+    """One row per scheduler with the headline metrics."""
+    headers = [
+        "scheduler",
+        "total_flowtime",
+        "mean_flowtime",
+        "mean_runtime",
+        "makespan",
+        "total_usage",
+        "clones",
+        "clone_frac",
+    ]
+    rows = []
+    for name, res in results.items():
+        rows.append(
+            [
+                name,
+                res.total_flowtime,
+                res.mean_flowtime,
+                res.mean_running_time,
+                res.makespan,
+                res.total_usage,
+                res.clones_launched,
+                res.clone_task_fraction,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def cdf_table(
+    series: Mapping[str, Sequence[float]], points: Sequence[float], *, label: str = "x"
+) -> str:
+    """CDF reads of several series at common x points (a text 'figure')."""
+    headers = [label] + list(series.keys())
+    rows = []
+    per_series = {name: cdf_at(vals, points) for name, vals in series.items()}
+    for i, p in enumerate(points):
+        rows.append([p] + [float(per_series[name][i]) for name in series])
+    return format_table(headers, rows)
+
+
+def pairwise_ratios(
+    numerator: SimulationResult, denominator: SimulationResult
+) -> np.ndarray:
+    """Per-job flowtime ratios between two runs of the same workload.
+
+    Jobs are paired by arrival order (job ids are fresh per run, but both
+    runs build the workload in the same order).
+    """
+    a = sorted(numerator.records, key=lambda r: (r.arrival_time, r.job_id))
+    b = sorted(denominator.records, key=lambda r: (r.arrival_time, r.job_id))
+    if len(a) != len(b):
+        raise ValueError("runs completed different job counts")
+    return np.array([x.flowtime / y.flowtime for x, y in zip(a, b)])
+
+
+def ratio_cdf(
+    numerator: SimulationResult,
+    denominator: SimulationResult,
+    *,
+    metric: str = "flowtime",
+) -> np.ndarray:
+    """Per-job metric ratios (Figs. 8, 9, 11): flowtime, running_time or
+    normalized usage of each job under run A divided by run B."""
+    a = sorted(numerator.records, key=lambda r: (r.arrival_time, r.job_id))
+    b = sorted(denominator.records, key=lambda r: (r.arrival_time, r.job_id))
+    if len(a) != len(b):
+        raise ValueError("runs completed different job counts")
+    if metric == "flowtime":
+        va = [r.flowtime for r in a]
+        vb = [r.flowtime for r in b]
+    elif metric == "running_time":
+        va = [r.running_time for r in a]
+        vb = [r.running_time for r in b]
+    elif metric == "usage":
+        va = [r.normalized_usage(numerator.cluster_capacity) for r in a]
+        vb = [r.normalized_usage(denominator.cluster_capacity) for r in b]
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return np.array([x / y for x, y in zip(va, vb)])

@@ -1,0 +1,211 @@
+"""Command-line interface: run and compare schedulers without writing code.
+
+Examples::
+
+    python -m repro run --scheduler dollymp2 --app wordcount --jobs 20
+    python -m repro compare --schedulers capacity,tetris,dollymp2 \\
+        --app pagerank --jobs 40 --gap 5
+    python -m repro trace --jobs 100 --out /tmp/trace.json
+    python -m repro replay /tmp/trace.json --scheduler dollymp2 --servers 100
+
+The CLI mirrors the public API; every knob maps to a documented
+constructor argument.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.report import comparison_table
+from repro.cluster.heterogeneity import (
+    homogeneous_cluster,
+    paper_cluster_30_nodes,
+    trace_sim_cluster,
+)
+from repro.core.online import DollyMPScheduler
+from repro.core.server_learning import LearningDollyMPScheduler
+from repro.resources import Resources
+from repro.schedulers.carbyne import CarbyneScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.fifo import CapacityScheduler, FIFOScheduler
+from repro.schedulers.graphene import GrapheneScheduler
+from repro.schedulers.srpt import SRPTScheduler
+from repro.schedulers.svf import SVFScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.sim.runner import run_simulation
+from repro.workload.google_trace import (
+    GoogleTraceGenerator,
+    jobs_from_specs,
+    load_trace,
+    save_trace,
+)
+from repro.workload.mapreduce import pagerank_job, wordcount_job
+
+__all__ = ["main", "SCHEDULER_FACTORIES"]
+
+SCHEDULER_FACTORIES: dict[str, Callable[[], object]] = {
+    "fifo": FIFOScheduler,
+    "capacity": CapacityScheduler,
+    "srpt": SRPTScheduler,
+    "svf": SVFScheduler,
+    "drf": DRFScheduler,
+    "tetris": TetrisScheduler,
+    "carbyne": CarbyneScheduler,
+    "graphene": GrapheneScheduler,
+    "dollymp0": lambda: DollyMPScheduler(max_clones=0),
+    "dollymp1": lambda: DollyMPScheduler(max_clones=1),
+    "dollymp2": lambda: DollyMPScheduler(max_clones=2),
+    "dollymp3": lambda: DollyMPScheduler(max_clones=3),
+    "learning-dollymp2": lambda: LearningDollyMPScheduler(max_clones=2),
+}
+
+
+def make_scheduler(name: str):
+    try:
+        return SCHEDULER_FACTORIES[name.lower()]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown scheduler {name!r}; choose from "
+            f"{', '.join(sorted(SCHEDULER_FACTORIES))}"
+        )
+
+
+def make_cluster(spec: str, seed: int):
+    if spec == "paper":
+        return paper_cluster_30_nodes()
+    if spec.startswith("trace:"):
+        return trace_sim_cluster(int(spec.split(":", 1)[1]), seed=seed)
+    if spec.startswith("uniform:"):
+        n, cpu, mem = spec.split(":", 1)[1].split("x")
+        return homogeneous_cluster(int(n), Resources.of(float(cpu), float(mem)))
+    raise SystemExit(
+        f"unknown cluster {spec!r}; use 'paper', 'trace:<n>', or 'uniform:<n>x<cpu>x<mem>'"
+    )
+
+
+def make_app_jobs(app: str, num_jobs: int, gap: float, input_gb: float):
+    jobs = []
+    for i in range(num_jobs):
+        t = i * gap
+        if app == "wordcount":
+            jobs.append(wordcount_job(input_gb, arrival_time=t, job_id=i))
+        elif app == "pagerank":
+            jobs.append(pagerank_job(input_gb, arrival_time=t, job_id=i))
+        elif app == "mixed":
+            if i % 2 == 0:
+                jobs.append(wordcount_job(input_gb, arrival_time=t, job_id=i))
+            else:
+                jobs.append(pagerank_job(input_gb / 4, arrival_time=t, job_id=i))
+        else:
+            raise SystemExit(f"unknown app {app!r}; use wordcount/pagerank/mixed")
+    return jobs
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cluster", default="paper", help="paper | trace:<n> | uniform:<n>x<cpu>x<mem>")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slot", type=float, default=0.0, help="scheduling interval seconds (0 = event driven)")
+
+
+def cmd_run(args) -> int:
+    jobs = make_app_jobs(args.app, args.jobs, args.gap, args.input_gb)
+    result = run_simulation(
+        make_cluster(args.cluster, args.seed),
+        make_scheduler(args.scheduler),
+        jobs,
+        seed=args.seed,
+        schedule_interval=args.slot,
+    )
+    for key, value in result.summary().items():
+        print(f"{key:>24s}: {value:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    results = {}
+    for name in names:
+        results[name] = run_simulation(
+            make_cluster(args.cluster, args.seed),
+            make_scheduler(name),
+            make_app_jobs(args.app, args.jobs, args.gap, args.input_gb),
+            seed=args.seed,
+            schedule_interval=args.slot,
+        )
+    print(comparison_table(results))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    gen = GoogleTraceGenerator(seed=args.seed)
+    specs = gen.generate(args.jobs, mean_interarrival=args.gap)
+    save_trace(specs, args.out)
+    total = sum(s.num_tasks() for s in specs)
+    print(f"wrote {len(specs)} jobs / {total} tasks to {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    specs = load_trace(args.trace)
+    result = run_simulation(
+        make_cluster(args.cluster, args.seed),
+        make_scheduler(args.scheduler),
+        jobs_from_specs(specs),
+        seed=args.seed,
+        schedule_interval=args.slot,
+    )
+    for key, value in result.summary().items():
+        print(f"{key:>24s}: {value:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DollyMP reproduction: cluster scheduling simulations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one scheduler on a synthetic app workload")
+    p.add_argument("--scheduler", default="dollymp2")
+    p.add_argument("--app", default="mixed")
+    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--gap", type=float, default=20.0)
+    p.add_argument("--input-gb", type=float, default=4.0)
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="run several schedulers on the same workload")
+    p.add_argument("--schedulers", default="capacity,tetris,dollymp2")
+    p.add_argument("--app", default="mixed")
+    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--gap", type=float, default=20.0)
+    p.add_argument("--input-gb", type=float, default=4.0)
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("trace", help="generate a synthetic Google-like trace file")
+    p.add_argument("--jobs", type=int, default=100)
+    p.add_argument("--gap", type=float, default=20.0)
+    p.add_argument("--out", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("replay", help="replay a trace file under a scheduler")
+    p.add_argument("trace")
+    p.add_argument("--scheduler", default="dollymp2")
+    _add_common(p)
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

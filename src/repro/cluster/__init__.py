@@ -1,0 +1,22 @@
+"""Heterogeneous cluster substrate: servers, topology, paper configurations."""
+
+from repro.cluster.server import Server
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import Topology, LocalityLevel
+from repro.cluster.heterogeneity import (
+    paper_cluster_30_nodes,
+    trace_sim_cluster,
+    homogeneous_cluster,
+    single_server_cluster,
+)
+
+__all__ = [
+    "Server",
+    "Cluster",
+    "Topology",
+    "LocalityLevel",
+    "paper_cluster_30_nodes",
+    "trace_sim_cluster",
+    "homogeneous_cluster",
+    "single_server_cluster",
+]

@@ -1,0 +1,102 @@
+"""The cluster: a collection of heterogeneous servers plus topology.
+
+Provides the aggregate quantities the schedulers need — total capacity
+(the denominators of the dominant-share Eqs. 9/15), availability scans,
+and utilization summaries — while each :class:`~repro.cluster.server.Server`
+owns its own allocation bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.cluster.server import Server
+from repro.cluster.topology import Topology
+from repro.resources import Resources, sum_resources
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """An indexed set of servers with cached aggregate capacity."""
+
+    def __init__(self, servers: Sequence[Server], topology: Topology | None = None) -> None:
+        if not servers:
+            raise ValueError("a cluster needs at least one server")
+        ids = [s.server_id for s in servers]
+        if ids != list(range(len(servers))):
+            raise ValueError("server ids must be 0..n-1 in order")
+        self.servers: list[Server] = list(servers)
+        self.topology = topology if topology is not None else Topology.single_rack(len(servers))
+        if len(self.topology) != len(self.servers):
+            raise ValueError("topology size does not match server count")
+        self._total_capacity = sum_resources(s.capacity for s in self.servers)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_capacity(self) -> Resources:
+        """Σ_i (C_i, M_i) — the dominant-share denominator."""
+        return self._total_capacity
+
+    def total_allocated(self) -> Resources:
+        return sum_resources(s.allocated for s in self.servers)
+
+    def total_available(self) -> Resources:
+        return sum_resources(s.available for s in self.servers)
+
+    def utilization(self) -> Resources:
+        return self.total_allocated().normalized_by(self._total_capacity)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    def __getitem__(self, server_id: int) -> Server:
+        return self.servers[server_id]
+
+    def servers_fitting(self, demand: Resources) -> list[Server]:
+        """Servers that can currently host ``demand`` (Eq. 5 check)."""
+        return [s for s in self.servers if s.can_fit(demand)]
+
+    def any_fits(self, demand: Resources) -> bool:
+        return any(s.can_fit(demand) for s in self.servers)
+
+    def best_fit_server(self, demand: Resources) -> Server | None:
+        """The fitting server maximizing the demand·available alignment.
+
+        This is Tetris' placement heuristic, also used by DollyMP for its
+        final placement step; ``None`` when no server fits.
+        """
+        best: Server | None = None
+        best_score = -1.0
+        for s in self.servers:
+            avail = s.available
+            if not demand.fits_in(avail):
+                continue
+            score = demand.dot(avail)
+            if score > best_score:
+                best, best_score = s, score
+        return best
+
+    def running_copy_count(self) -> int:
+        return sum(len(s.running_copies) for s in self.servers)
+
+    def snapshot_available(self) -> list[Resources]:
+        """Immutable view of per-server availability (for what-if packing)."""
+        return [s.available for s in self.servers]
+
+    @staticmethod
+    def build(specs: Iterable[tuple[Resources, float]], topology: Topology | None = None) -> "Cluster":
+        """Build a cluster from ``(capacity, slowdown)`` specs."""
+        servers = [
+            Server(i, cap, slowdown=slow)
+            for i, (cap, slow) in enumerate(specs)
+        ]
+        return Cluster(servers, topology)

@@ -1,0 +1,111 @@
+"""A single heterogeneous server (YARN NodeManager equivalent).
+
+Each server has a multi-resource capacity (Eq. 5 of the paper) and a
+*slowdown factor* modelling heterogeneity: the paper's private cluster
+mixes "powerful servers and normal computing nodes" and additionally sees
+background load on the hypervisors, both of which it folds into a single
+stochastic task-time model (Sec. 3).  We keep a deterministic per-server
+component (the slowdown factor) and let the workload's straggler
+distribution supply the stochastic component.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.resources import Resources, ZERO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.task import TaskCopy
+
+__all__ = ["Server"]
+
+
+class Server:
+    """A server with capacity bookkeeping for running task copies."""
+
+    __slots__ = (
+        "server_id",
+        "capacity",
+        "slowdown",
+        "rack",
+        "_allocated",
+        "_available",
+        "_running",
+    )
+
+    def __init__(
+        self,
+        server_id: int,
+        capacity: Resources,
+        *,
+        slowdown: float = 1.0,
+        rack: int = 0,
+    ) -> None:
+        if capacity.cpu <= 0 or capacity.mem <= 0:
+            raise ValueError(f"server {server_id}: capacity must be positive, got {capacity}")
+        if slowdown <= 0:
+            raise ValueError(f"server {server_id}: slowdown must be positive, got {slowdown}")
+        self.server_id = server_id
+        self.capacity = capacity
+        #: Multiplier on task durations executed here (1.0 = nominal,
+        #: >1 = slow node, <1 = powerful node).
+        self.slowdown = slowdown
+        self.rack = rack
+        self._allocated = ZERO
+        # Availability is read millions of times per simulation (every
+        # best-fit scan); keep it cached and update on allocate/release.
+        self._available = capacity
+        self._running: set["TaskCopy"] = set()
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def allocated(self) -> Resources:
+        return self._allocated
+
+    @property
+    def available(self) -> Resources:
+        return self._available
+
+    @property
+    def running_copies(self) -> frozenset["TaskCopy"]:
+        return frozenset(self._running)
+
+    def can_fit(self, demand: Resources) -> bool:
+        return demand.fits_in(self.available)
+
+    def allocate(self, copy: "TaskCopy") -> None:
+        """Reserve resources for a task copy.  Raises if it does not fit."""
+        demand = copy.task.demand
+        if not self.can_fit(demand):
+            raise RuntimeError(
+                f"server {self.server_id}: cannot fit {demand} in {self.available}"
+            )
+        if copy in self._running:
+            raise RuntimeError(f"server {self.server_id}: copy {copy} already running")
+        self._allocated = self._allocated + demand
+        self._available = (self.capacity - self._allocated).clamp_nonnegative()
+        self._running.add(copy)
+
+    def release(self, copy: "TaskCopy") -> None:
+        """Free the resources held by a finished or killed copy."""
+        if copy not in self._running:
+            raise RuntimeError(f"server {self.server_id}: copy {copy} not running here")
+        self._running.discard(copy)
+        self._allocated = (self._allocated - copy.task.demand).clamp_nonnegative()
+        if not self._running:
+            # Snap accumulated float error back to exactly zero when idle.
+            self._allocated = ZERO
+        self._available = (self.capacity - self._allocated).clamp_nonnegative()
+
+    def utilization(self) -> Resources:
+        """Fraction of each dimension currently allocated."""
+        return self._allocated.normalized_by(self.capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Server(id={self.server_id}, cap={self.capacity}, "
+            f"alloc={self._allocated}, slowdown={self.slowdown:g})"
+        )

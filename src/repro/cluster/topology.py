@@ -1,0 +1,72 @@
+"""Rack topology and data-locality model.
+
+The paper's testbed places its 30 servers "within two racks and connected
+in a folded CLOS" (Sec. 6.1), and DollyMP's Application Master performs a
+second-level placement decision "based on the data locality constraint"
+(Sec. 5.2).  We model locality at the standard three levels used by
+Hadoop — node-local, rack-local, off-rack — which is all the scheduling
+logic observes (real HDFS block maps only matter through this preference
+ordering).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+__all__ = ["LocalityLevel", "Topology"]
+
+
+class LocalityLevel(enum.IntEnum):
+    """Preference levels for placing a task near its input data.
+
+    Lower is better; the integer values make scoring arithmetic easy.
+    """
+
+    NODE_LOCAL = 0
+    RACK_LOCAL = 1
+    OFF_RACK = 2
+
+
+class Topology:
+    """Maps servers to racks and answers locality queries.
+
+    The folded-CLOS fabric of the testbed is full-bisection within a rack
+    and oversubscribed across racks, which is exactly what the three-level
+    preference captures.
+    """
+
+    def __init__(self, rack_of: Sequence[int]) -> None:
+        self._rack_of = list(rack_of)
+        self.num_racks = (max(self._rack_of) + 1) if self._rack_of else 0
+
+    @staticmethod
+    def two_racks(num_servers: int) -> "Topology":
+        """The paper's layout: servers split evenly across two racks."""
+        half = (num_servers + 1) // 2
+        return Topology([0 if i < half else 1 for i in range(num_servers)])
+
+    @staticmethod
+    def single_rack(num_servers: int) -> "Topology":
+        return Topology([0] * num_servers)
+
+    def rack(self, server_id: int) -> int:
+        return self._rack_of[server_id]
+
+    def locality(self, server_id: int, preferred_servers: Sequence[int]) -> LocalityLevel:
+        """Locality level of running on ``server_id`` given the servers
+        holding the input data replicas (``preferred_servers``)."""
+        if not preferred_servers:
+            return LocalityLevel.NODE_LOCAL  # no data constraint
+        if server_id in preferred_servers:
+            return LocalityLevel.NODE_LOCAL
+        my_rack = self.rack(server_id)
+        if any(self.rack(p) == my_rack for p in preferred_servers):
+            return LocalityLevel.RACK_LOCAL
+        return LocalityLevel.OFF_RACK
+
+    def servers_in_rack(self, rack: int) -> list[int]:
+        return [i for i, r in enumerate(self._rack_of) if r == rack]
+
+    def __len__(self) -> int:
+        return len(self._rack_of)

@@ -1,0 +1,97 @@
+"""The knapsack optimization oracle of Algorithm 1.
+
+Step 6 of Algorithm 1 solves, per category l::
+
+    max Σ x_j   s.t.   Σ v_j x_j ≤ 2^l,   x ∈ {0,1}
+
+i.e. a 0/1 knapsack with *unit profits*.  As the paper notes, with equal
+profits the oracle "can be solved efficiently by selecting items with the
+smallest weights" — the greedy is exactly optimal here, not an
+approximation.  :func:`max_count_knapsack` implements it in O(n log n);
+:func:`max_count_knapsack_exact` is an independent dynamic program kept
+for cross-validation in the test suite (and for integer-profit
+generalizations).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["max_count_knapsack", "max_count_knapsack_exact"]
+
+
+def max_count_knapsack(weights: Sequence[float], capacity: float) -> list[int]:
+    """Indices of a maximum-cardinality subset with total weight ≤ capacity.
+
+    Greedy smallest-weight-first, which is optimal for unit profits:
+    exchanging any selected item for a lighter unselected one never
+    decreases feasibility.  Ties broken by index for determinism.
+    Zero- and negative-weight checks guard against bad volumes upstream.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        return []
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    order = np.argsort(w, kind="stable")
+    csum = np.cumsum(w[order])
+    # Tolerate float accumulation at the boundary.
+    k = int(np.searchsorted(csum, capacity * (1 + 1e-12), side="right"))
+    return sorted(int(i) for i in order[:k])
+
+
+def max_count_knapsack_exact(
+    weights: Sequence[float],
+    capacity: float,
+    *,
+    profits: Sequence[int] | None = None,
+) -> list[int]:
+    """Exact 0/1 knapsack by dynamic programming over total profit.
+
+    ``dp[p]`` = minimum weight achieving profit exactly ``p``; the answer
+    is the largest ``p`` with ``dp[p] ≤ capacity``.  With unit profits
+    this is O(n²) — the complexity the paper quotes for the oracle — and
+    agrees with the greedy; with general integer profits it solves the
+    weighted variant used in ablations.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    w = [float(x) for x in weights]
+    if any(x < 0 for x in w):
+        raise ValueError("weights must be non-negative")
+    n = len(w)
+    p = [1] * n if profits is None else [int(x) for x in profits]
+    if len(p) != n:
+        raise ValueError("profits length must match weights")
+    if any(x < 0 for x in p):
+        raise ValueError("profits must be non-negative")
+    total_profit = sum(p)
+    INF = float("inf")
+    # dp[i][prof] = min weight achieving profit `prof` using items < i.
+    # Full table (not rolled) so the witness reconstruction is exact.
+    dp = np.full((n + 1, total_profit + 1), INF)
+    dp[0][0] = 0.0
+    for i in range(n):
+        dp[i + 1] = dp[i].copy()
+        shifted = dp[i][: total_profit + 1 - p[i]] + w[i] if p[i] > 0 else dp[i] + w[i]
+        if p[i] > 0:
+            np.minimum(dp[i + 1][p[i] :], shifted, out=dp[i + 1][p[i] :])
+        else:
+            np.minimum(dp[i + 1], shifted, out=dp[i + 1])
+    cap = capacity * (1 + 1e-12)
+    feasible = np.nonzero(dp[n] <= cap)[0]
+    best = int(feasible[-1]) if feasible.size else 0
+    # Reconstruct a witness subset walking the table backwards.
+    selected: list[int] = []
+    prof = best
+    for i in range(n - 1, -1, -1):
+        if dp[i + 1][prof] == dp[i][prof]:
+            continue  # item i not needed for this profit
+        selected.append(i)
+        prof -= p[i]
+    selected.reverse()
+    return selected

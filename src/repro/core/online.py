@@ -1,0 +1,162 @@
+"""The online DollyMP scheduler — Algorithm 2 of the paper.
+
+Scheduling logic, in the paper's order:
+
+1. **Priority recompute on arrival** (steps 1–5): when a job enters, the
+   remaining volume v_j(t) (Eq. 16) and remaining effective length
+   e_j(t) (Eq. 17) of every active job are fed to the transient
+   Algorithm 1, yielding priority levels p_j(t).  "To reduce the
+   overhead, the scheduling order of all jobs in the cluster won't be
+   updated until the next job arrival."
+2. **Normal task placement** (steps 6–15): sweep priority groups in
+   increasing level; within a group all jobs are equal and the task with
+   the best resource fit (inner product with the server's availability)
+   is placed first.  Only each job's *first available phase* is
+   schedulable (DAG gating).
+3. **Clone placement** (step 16 — "Repeat Step 9 twice"): when no new
+   task fits, leftover resources host clones, in the same priority
+   order, at most ``max_clones`` extra copies per task, subject to the
+   δ clone budget (Sec. 4.1's small-jobs-first rule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.cloning_policy import CloningPolicy
+from repro.core.transient import compute_priorities, priority_groups
+from repro.core.volume import DEFAULT_R, measure_job
+from repro.schedulers.base import Scheduler
+from repro.schedulers.packing import (
+    fill_clones_best_fit,
+    fill_tasks_best_fit,
+    pending_by_phase,
+)
+from repro.workload.job import Job
+from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import ClusterView
+
+__all__ = ["DollyMPScheduler"]
+
+
+class DollyMPScheduler(Scheduler):
+    """DollyMP with ``max_clones`` extra copies per task.
+
+    ``max_clones=0/1/2/3`` are the paper's DollyMP⁰/¹/²/³ variants;
+    ``r`` is the deviation weight of the effective processing time
+    (e = θ + r·σ; experiments use 1.5) and ``delta`` the clone resource
+    budget (0.3 in the experiments; see DESIGN.md for the δ reading).
+    """
+
+    #: Optional per-server placement-score multiplier.  Subclasses (the
+    #: straggler-learning extension) set this to steer placements away
+    #: from servers identified as slow.
+    _server_weight_hook = None
+
+    def __init__(
+        self,
+        *,
+        max_clones: int = 2,
+        r: float = DEFAULT_R,
+        delta: float = 0.3,
+        use_category_target: bool = False,
+    ) -> None:
+        if r < 0:
+            raise ValueError("r must be non-negative")
+        self.r = r
+        self.policy = CloningPolicy(
+            max_clones=max_clones,
+            budget_fraction=delta,
+            use_category_target=use_category_target,
+        )
+        self.name = f"DollyMP^{max_clones}"
+        self._priorities: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Priority maintenance
+    # ------------------------------------------------------------------
+    def recompute_priorities(self, view: "ClusterView") -> None:
+        total = view.cluster.total_capacity
+        measures = [measure_job(j, total, r=self.r) for j in view.active_jobs]
+        self._priorities = compute_priorities(measures)
+
+    def on_job_arrival(self, job: Job, view: "ClusterView") -> None:
+        self.recompute_priorities(view)
+
+    def priority_of(self, job: Job) -> int | None:
+        return self._priorities.get(job.job_id)
+
+    # ------------------------------------------------------------------
+    # Scheduling pass
+    # ------------------------------------------------------------------
+    def schedule(self, view: "ClusterView") -> None:
+        jobs = view.active_jobs
+        if not jobs:
+            return
+        by_id = {j.job_id: j for j in jobs}
+        if any(jid not in self._priorities for jid in by_id):
+            # Defensive: an engine calling schedule() before the arrival
+            # hook (or a job revived from a checkpoint) still gets ranked.
+            self.recompute_priorities(view)
+        active_prios = {
+            jid: lvl for jid, lvl in self._priorities.items() if jid in by_id
+        }
+        groups = priority_groups(active_prios)
+
+        # --- pass 1: normal tasks, by priority group -------------------
+        for _, job_ids in groups:
+            candidates = []
+            for jid in job_ids:
+                candidates.extend(pending_by_phase(by_id[jid], view.time))
+            if candidates:
+                fill_tasks_best_fit(
+                    view, candidates, server_weight=self._server_weight_hook
+                )
+
+        # --- pass 2: clones on leftover resources ----------------------
+        if self.policy.max_clones == 0:
+            return
+        if view.cluster.total_available().is_zero():
+            return  # cluster packed solid; no leftover to clone into
+        # δ budget tracked locally for the whole pass (the engine's
+        # incremental occupancy seeds it; each clone launch debits it).
+        budget = self.policy.budget_remaining(
+            view.cluster, occupancy=view.clone_occupancy
+        )
+        state = {"remaining": budget}
+
+        def budget_check(t: Task) -> bool:
+            return t.demand.fits_in(state["remaining"])
+
+        def debit(t: Task, _server) -> None:
+            state["remaining"] = (state["remaining"] - t.demand).clamp_nonnegative()
+
+        for _ in range(self.policy.max_clones):
+            launched = 0
+            for level, job_ids in groups:
+                launched += fill_clones_best_fit(
+                    view,
+                    self._clone_targets(by_id, job_ids, level),
+                    budget_check=budget_check,
+                    on_launch=debit,
+                )
+            if launched == 0:
+                break
+
+    def _clone_targets(
+        self, by_id: dict[int, Job], job_ids: list[int], level: int
+    ) -> Iterator[Task]:
+        """Running tasks of the group's jobs eligible for one more clone
+        (lazy — evaluated as the fill loop consumes it)."""
+        category_length = 2.0**level
+        for jid in job_ids:
+            for phase in by_id[jid].phases:
+                if phase.is_finished:
+                    continue
+                for task in phase.tasks:
+                    if task.state is TaskState.RUNNING and self.policy.may_clone(
+                        task, category_length=category_length
+                    ):
+                        yield task

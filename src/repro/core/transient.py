@@ -1,0 +1,79 @@
+"""Algorithm 1: the transient scheduling (priority) computation.
+
+Jobs are binned into doubling length categories 2^1, 2^2, …, 2^g.  At
+level l, the knapsack oracle packs as many jobs as possible among those
+with effective length ≤ 2^l subject to total volume ≤ 2^l; a job's
+priority p_j is the *first* level at which the oracle selects it.  Small
+quick jobs get low levels (scheduled first, SRPT-like); big-volume jobs
+surface once capacity doubles enough (SVF-like), and all jobs within a
+level are treated equally — the SRPT/SVF balance at the heart of DollyMP
+(Sec. 4.2).
+
+The level count g = log₂(Σv / (1 − max_j d_j)) comes from the paper's
+completion-time argument (Sec. 4.2.1); we additionally round up so the
+last level can hold every job, which the argument presumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.knapsack import max_count_knapsack
+from repro.core.volume import JobMeasure
+
+__all__ = ["num_levels", "compute_priorities", "priority_groups"]
+
+
+def num_levels(measures: Sequence[JobMeasure]) -> int:
+    """g of Algorithm 1, padded so that level g can pack all jobs."""
+    if not measures:
+        return 0
+    total_volume = sum(m.volume for m in measures)
+    max_share = max(m.max_dominant_share for m in measures)
+    # Guard: a job demanding the full cluster makes 1 - max d ≤ 0; the
+    # bound degenerates, so clamp the denominator.
+    denom = max(1.0 - max_share, 1e-6)
+    g = math.ceil(math.log2(max(total_volume / denom, 2.0)))
+    max_length = max(m.length for m in measures)
+    max_volume = max(m.volume for m in measures)
+    need = math.ceil(math.log2(max(max_length, max_volume, total_volume, 2.0)))
+    return max(g, need, 1)
+
+
+def compute_priorities(measures: Sequence[JobMeasure]) -> dict[int, int]:
+    """Map job_id → priority level (lower = scheduled earlier).
+
+    Implements steps 2–11 of Algorithm 1.  Every job receives a finite
+    priority: jobs never selected (possible only through float edge
+    cases) fall to level g + 1.
+    """
+    if not measures:
+        return {}
+    ids = [m.job_id for m in measures]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate job ids in measures")
+    g = num_levels(measures)
+    priorities: dict[int, int] = {}
+    for level in range(1, g + 1):
+        cap = 2.0**level
+        # B_l: every job with effective length within the category — the
+        # oracle re-packs the whole set; jobs selected at earlier levels
+        # keep their priority (step 7 only assigns where p^{l-1} = ∞).
+        eligible = [m for m in measures if m.length <= cap]
+        if not eligible:
+            continue
+        chosen = max_count_knapsack([m.volume for m in eligible], cap)
+        for idx in chosen:
+            priorities.setdefault(eligible[idx].job_id, level)
+    for m in measures:  # float-edge fallback; the theory says unreachable
+        priorities.setdefault(m.job_id, g + 1)
+    return priorities
+
+
+def priority_groups(priorities: dict[int, int]) -> list[tuple[int, list[int]]]:
+    """Group job ids by level, ascending — the Ω_t^l sets of Algorithm 2."""
+    groups: dict[int, list[int]] = {}
+    for job_id, level in priorities.items():
+        groups.setdefault(level, []).append(job_id)
+    return [(lvl, sorted(groups[lvl])) for lvl in sorted(groups)]

@@ -1,0 +1,124 @@
+"""Job volume and effective processing time (Eqs. 9–10 and 14–17).
+
+These are the two scalars Algorithm 1 consumes per job:
+
+* the **effective processing time** e_j — for a single-task job simply
+  θ_j (Eq. 10 context); for a DAG job the critical-path sum of the
+  variance-penalized phase lengths e_j^k = θ_j^k + r·σ_j^k (Eq. 14), and
+  online, the critical path over the *remaining* phases only (Eq. 17);
+* the **volume** v_j — dominant share × effective time, summed over the
+  (remaining) tasks of every (remaining) phase (Eqs. 10, 14, 16).
+
+In the prototype this computation lives in the Application Master, which
+reports (v_j, e_j) to the Resource Manager on submission (Sec. 5.2);
+here :func:`measure_job` plays that role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resources import Resources
+from repro.workload.job import Job
+from repro.workload.phase import Phase
+
+__all__ = [
+    "dominant_share",
+    "phase_dominant_share",
+    "job_volume",
+    "job_effective_length",
+    "JobMeasure",
+    "measure_job",
+    "measure_single_task_job",
+]
+
+#: Default deviation weight r (the experiments use r = 1.5, Sec. 6.1/6.3).
+DEFAULT_R = 1.5
+
+
+def dominant_share(demand: Resources, total_capacity: Resources) -> float:
+    """d_j of Eq. (9): max over dimensions of demand / cluster total."""
+    return demand.dominant_share(total_capacity)
+
+
+def phase_dominant_share(phase: Phase, total_capacity: Resources) -> float:
+    """d_j^k of Eq. (15)."""
+    return phase.demand.dominant_share(total_capacity)
+
+
+def job_volume(
+    job: Job,
+    total_capacity: Resources,
+    *,
+    r: float = DEFAULT_R,
+    remaining_only: bool = True,
+) -> float:
+    """v_j of Eq. (14), or v_j(t) of Eq. (16) when ``remaining_only``.
+
+    Σ_k n_j^k · e_j^k · d_j^k, with n_j^k the (unfinished) task count.
+    """
+    total = 0.0
+    for phase in job.phases:
+        n = phase.num_unfinished if remaining_only else phase.num_tasks
+        if n == 0:
+            continue
+        total += n * phase.effective_time(r) * phase_dominant_share(phase, total_capacity)
+    return total
+
+
+def job_effective_length(
+    job: Job,
+    *,
+    r: float = DEFAULT_R,
+    remaining_only: bool = True,
+) -> float:
+    """e_j of Eq. (14), or e_j(t) of Eq. (17) when ``remaining_only``."""
+    if remaining_only:
+        return job.remaining_effective_length(r)
+    return job.effective_length(r)
+
+
+@dataclass(frozen=True)
+class JobMeasure:
+    """The (volume, effective length) pair Algorithm 1 consumes."""
+
+    job_id: int
+    volume: float
+    length: float
+    max_dominant_share: float
+
+    def __post_init__(self) -> None:
+        if self.volume < 0 or self.length < 0:
+            raise ValueError("volume and length must be non-negative")
+
+
+def measure_job(
+    job: Job,
+    total_capacity: Resources,
+    *,
+    r: float = DEFAULT_R,
+    remaining_only: bool = True,
+) -> JobMeasure:
+    """Compute the Algorithm-1 inputs for one (possibly partial) job."""
+    shares = [
+        phase_dominant_share(p, total_capacity)
+        for p in job.phases
+        if not (remaining_only and p.is_finished)
+    ]
+    return JobMeasure(
+        job_id=job.job_id,
+        volume=job_volume(job, total_capacity, r=r, remaining_only=remaining_only),
+        length=job_effective_length(job, r=r, remaining_only=remaining_only),
+        max_dominant_share=max(shares, default=0.0),
+    )
+
+
+def measure_single_task_job(
+    job_id: int,
+    demand: Resources,
+    theta: float,
+    total_capacity: Resources,
+) -> JobMeasure:
+    """The transient-analysis measure: v_j = d_j·θ_j (Eqs. 9–10)."""
+    d = dominant_share(demand, total_capacity)
+    return JobMeasure(job_id=job_id, volume=d * theta, length=theta, max_dominant_share=d)

@@ -1,0 +1,28 @@
+"""Cluster schedulers: the DollyMP family and all the paper's baselines."""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fifo import FIFOScheduler, CapacityScheduler
+from repro.schedulers.srpt import SRPTScheduler
+from repro.schedulers.svf import SVFScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.schedulers.carbyne import CarbyneScheduler
+from repro.schedulers.graphene import GrapheneScheduler
+from repro.schedulers.speculation import SpeculationPolicy, LATESpeculation, NoSpeculation
+from repro.core.online import DollyMPScheduler
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "CapacityScheduler",
+    "SRPTScheduler",
+    "SVFScheduler",
+    "DRFScheduler",
+    "TetrisScheduler",
+    "CarbyneScheduler",
+    "GrapheneScheduler",
+    "SpeculationPolicy",
+    "LATESpeculation",
+    "NoSpeculation",
+    "DollyMPScheduler",
+]

@@ -1,0 +1,48 @@
+"""Scheduler interface.
+
+A scheduler receives a :class:`~repro.sim.engine.ClusterView` at each
+scheduling opportunity (job arrival, task completion or slot tick,
+depending on the engine mode) and places task copies through it.  The
+view exposes the cluster state and the set of active (arrived, not yet
+finished) jobs; ``view.launch`` performs a placement, enforcing the
+capacity constraint of Eq. (5).
+
+Schedulers are stateful across calls (e.g. DollyMP caches job priorities
+between arrivals) and are notified of arrivals/finishes via hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import ClusterView
+    from repro.workload.job import Job
+    from repro.workload.task import Task
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "scheduler"
+
+    def on_job_arrival(self, job: "Job", view: "ClusterView") -> None:
+        """Hook: job became known to the cluster (before the schedule pass)."""
+
+    def on_task_finish(self, task: "Task", view: "ClusterView") -> None:
+        """Hook: a task completed (its first copy finished)."""
+
+    def on_job_finish(self, job: "Job", view: "ClusterView") -> None:
+        """Hook: every phase of the job completed."""
+
+    @abc.abstractmethod
+    def schedule(self, view: "ClusterView") -> None:
+        """Place task copies via ``view.launch`` until nothing more fits
+        (or the policy chooses to stop)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

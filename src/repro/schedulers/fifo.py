@@ -1,0 +1,121 @@
+"""FIFO and (YARN) Capacity scheduling.
+
+The Capacity Scheduler [2] is YARN's default and the paper's primary
+baseline.  Within one queue it serves applications in arrival order,
+handing containers to the oldest application first; MapReduce's own
+speculative execution runs underneath it.  We model:
+
+* :class:`FIFOScheduler` — pure arrival-order service;
+* :class:`CapacityScheduler` — arrival-order service per queue with
+  capacity-weighted queue selection, plus LATE speculation by default
+  (the configuration whose straggler behaviour Figs. 1 and 4–7 measure).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.packing import fill_tasks_best_fit, next_pending_task, pending_by_phase
+from repro.schedulers.speculation import LATESpeculation, NoSpeculation, SpeculationPolicy
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import ClusterView
+
+__all__ = ["FIFOScheduler", "CapacityScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    """Serve jobs strictly in arrival order."""
+
+    name = "FIFO"
+
+    def __init__(self, *, speculation: SpeculationPolicy | None = None) -> None:
+        self.speculation = speculation if speculation is not None else NoSpeculation()
+
+    def job_order(self, view: "ClusterView") -> list[Job]:
+        return sorted(view.active_jobs, key=lambda j: (j.arrival_time, j.job_id))
+
+    def schedule(self, view: "ClusterView") -> None:
+        for job in self.job_order(view):
+            candidates = pending_by_phase(job, view.time)
+            if candidates:
+                fill_tasks_best_fit(view, candidates)
+        self.speculation.launch_backups(view, view.active_jobs)
+
+
+class CapacityScheduler(FIFOScheduler):
+    """YARN Capacity Scheduler: FIFO within queues, queues weighted.
+
+    ``queue_weights`` maps a user/queue name to its configured capacity
+    share; job → queue via ``job.user``.  Jobs of under-served queues go
+    first (usage/weight ascending), FIFO inside a queue.  With a single
+    queue (the default, and the paper's setup) this is FIFO + LATE
+    speculation.
+    """
+
+    name = "Capacity"
+
+    def __init__(
+        self,
+        *,
+        queue_weights: Mapping[str, float] | None = None,
+        speculation: SpeculationPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            speculation=speculation if speculation is not None else LATESpeculation()
+        )
+        self.queue_weights = dict(queue_weights) if queue_weights else {}
+        for q, w in self.queue_weights.items():
+            if w <= 0:
+                raise ValueError(f"queue {q!r}: weight must be positive")
+
+    def schedule(self, view: "ClusterView") -> None:
+        if not self.queue_weights:
+            super().schedule(view)
+            return
+        # Weighted queues: assign one container at a time, recomputing
+        # queue usage after each grant (YARN hands out containers
+        # one heartbeat at a time, keeping queues at their capacities).
+        total = view.cluster.total_capacity
+        usage: dict[str, float] = {}
+        for job in view.active_jobs:
+            share = sum(
+                t.num_live_copies * t.demand.dominant_share(total)
+                for t in job.running_tasks()
+            )
+            usage[job.user] = usage.get(job.user, 0.0) + share
+        blocked: set[int] = set()
+        while True:
+            candidates = [
+                j for j in view.active_jobs if j.job_id not in blocked
+            ]
+            if not candidates:
+                break
+            candidates.sort(
+                key=lambda j: (
+                    usage.get(j.user, 0.0) / self.queue_weights.get(j.user, 1.0),
+                    j.arrival_time,
+                    j.job_id,
+                )
+            )
+            progressed = False
+            for job in candidates:
+                task = next_pending_task(job, view.time)
+                if task is None:
+                    blocked.add(job.job_id)
+                    continue
+                server = view.cluster.best_fit_server(task.demand)
+                if server is None:
+                    blocked.add(job.job_id)
+                    continue
+                view.launch(task, server)
+                usage[job.user] = usage.get(job.user, 0.0) + task.demand.dominant_share(
+                    total
+                )
+                progressed = True
+                break
+            if not progressed:
+                break
+        self.speculation.launch_backups(view, view.active_jobs)

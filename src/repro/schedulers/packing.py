@@ -1,0 +1,178 @@
+"""Shared placement loops: best-fit task filling and clone filling.
+
+Both DollyMP (Alg. 2, steps 9–15) and the Tetris-style baselines place
+one task at a time, choosing among equally-prioritized candidates the
+(task, server) pair maximizing the resource-fit inner product
+R_i^c·c + R_i^m·m.  The loop below implements that with an incremental
+cache: launching a task only reduces one server's availability, so only
+candidates whose cached best server was that one need rescoring.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.cluster.server import Server
+from repro.workload.phase import Phase
+from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import ClusterView
+
+__all__ = [
+    "fill_tasks_best_fit",
+    "fill_clones_best_fit",
+    "first_fit_server",
+    "pending_by_phase",
+    "next_pending_task",
+]
+
+
+def first_fit_server(view: "ClusterView", demand) -> Server | None:
+    """Best-fit (max alignment) server for a demand, or None."""
+    return view.cluster.best_fit_server(demand)
+
+
+def pending_by_phase(job, now: float | None = None) -> list[tuple[Phase, list[Task]]]:
+    """(phase, pending tasks) for every *ready* phase of the job.
+
+    All DAG-ready phases are offered — branches of a fork run in
+    parallel, as they do under YARN where every launchable container is
+    requested at once.  ``now`` enables shuffle/start-delay gating.
+    """
+    out: list[tuple[Phase, list[Task]]] = []
+    for phase in job.ready_phases(now):
+        pending = [t for t in phase.tasks if t.state is TaskState.PENDING]
+        if pending:
+            out.append((phase, pending))
+    return out
+
+
+def next_pending_task(job, now: float | None = None) -> Task | None:
+    """The first pending task across the job's ready phases."""
+    for phase in job.ready_phases(now):
+        for t in phase.tasks:
+            if t.state is TaskState.PENDING:
+                return t
+    return None
+
+
+class _Candidate:
+    """A queue of identical pending tasks (one phase of one job)."""
+
+    __slots__ = ("phase", "queue", "best_server", "best_score")
+
+    def __init__(self, phase: Phase, tasks: list[Task]) -> None:
+        self.phase = phase
+        self.queue = tasks  # consumed from the end
+        self.best_server: Server | None = None
+        self.best_score = -1.0
+
+    def rescore(
+        self,
+        servers: Iterable[Server],
+        server_weight: Callable[[Server], float] | None = None,
+    ) -> None:
+        demand = self.phase.demand
+        self.best_server = None
+        self.best_score = -1.0
+        for s in servers:
+            avail = s.available
+            if not demand.fits_in(avail):
+                continue
+            score = demand.dot(avail)
+            if server_weight is not None:
+                score *= server_weight(s)
+            if score > self.best_score:
+                self.best_server, self.best_score = s, score
+
+
+def fill_tasks_best_fit(
+    view: "ClusterView",
+    phases_with_tasks: list[tuple[Phase, list[Task]]],
+    *,
+    on_launch: Callable[[Task, Server], None] | None = None,
+    server_weight: Callable[[Server], float] | None = None,
+) -> int:
+    """Launch pending tasks from the given phases, all treated with equal
+    priority, one at a time by best resource fit.  Returns launch count.
+
+    ``phases_with_tasks`` pairs each phase with the (pending, ready)
+    tasks to place.  Used per priority group by DollyMP and per ordering
+    bucket by the baselines.  ``server_weight`` optionally scales each
+    server's fit score (the straggler-avoidance extension multiplies by
+    the inverse of the server's learned slowdown).
+    """
+    cands = [
+        _Candidate(phase, list(tasks))
+        for phase, tasks in phases_with_tasks
+        if tasks
+    ]
+    servers = view.cluster.servers
+    for c in cands:
+        c.rescore(servers, server_weight)
+    launched = 0
+    while True:
+        best: _Candidate | None = None
+        for c in cands:
+            if c.queue and c.best_server is not None and (
+                best is None or c.best_score > best.best_score
+            ):
+                best = c
+        if best is None:
+            break
+        task = best.queue.pop()
+        server = best.best_server
+        assert server is not None
+        view.launch(task, server)
+        if on_launch is not None:
+            on_launch(task, server)
+        launched += 1
+        # Only `server`'s availability changed (shrank): rescore the
+        # candidates that were counting on it.
+        for c in cands:
+            if c.best_server is server:
+                c.rescore(servers, server_weight)
+        cands = [c for c in cands if c.queue and c.best_server is not None]
+    return launched
+
+
+def fill_clones_best_fit(
+    view: "ClusterView",
+    tasks: Iterable[Task],
+    *,
+    budget_check: Callable[[Task], bool] | None = None,
+    max_launches: int | None = None,
+    on_launch: Callable[[Task, Server], None] | None = None,
+) -> int:
+    """Launch at most one clone per listed (running) task, best fit first.
+
+    ``budget_check`` gates each launch (DollyMP's δ budget); tasks are
+    attempted in the given priority order, each placed on its best-fit
+    server if any fits.  Returns the number of clones launched.
+    """
+    launched = 0
+    # Availability only shrinks within a pass, so a demand that found no
+    # server will never fit later in the pass — skip repeats (tasks of a
+    # phase share one demand, making this cache very effective).
+    unfittable: set[tuple[float, float]] = set()
+    for task in tasks:
+        if max_launches is not None and launched >= max_launches:
+            break
+        if task.state is not TaskState.RUNNING:
+            continue
+        demand = task.demand
+        key = (demand.cpu, demand.mem)
+        if key in unfittable:
+            continue
+        if budget_check is not None and not budget_check(task):
+            continue
+        server = view.cluster.best_fit_server(demand)
+        if server is None:
+            unfittable.add(key)
+            continue
+        view.launch(task, server, clone=True)
+        if on_launch is not None:
+            on_launch(task, server)
+        launched += 1
+    return launched

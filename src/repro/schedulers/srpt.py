@@ -1,0 +1,44 @@
+"""SRPT: Shortest Remaining Processing Time (Sec. 4.2 baseline).
+
+"Jobs with the smallest running time are scheduled first" — remaining
+processing time is the critical path of mean task durations over the
+job's unfinished phases.  Optimal offline on identical machines with
+homogeneous demands [17], but blind to resource shape and hence prone to
+fragmentation (the limitation DollyMP's knapsack step addresses).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.packing import fill_tasks_best_fit, pending_by_phase
+from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import ClusterView
+
+__all__ = ["SRPTScheduler"]
+
+
+class SRPTScheduler(Scheduler):
+    name = "SRPT"
+
+    def __init__(self, *, speculation: SpeculationPolicy | None = None) -> None:
+        self.speculation = speculation if speculation is not None else NoSpeculation()
+
+    @staticmethod
+    def remaining_time(job: Job) -> float:
+        """Critical path over unfinished phases, mean durations (r = 0)."""
+        return job.remaining_effective_length(0.0)
+
+    def schedule(self, view: "ClusterView") -> None:
+        jobs = sorted(
+            view.active_jobs, key=lambda j: (self.remaining_time(j), j.job_id)
+        )
+        for job in jobs:
+            candidates = pending_by_phase(job, view.time)
+            if candidates:
+                fill_tasks_best_fit(view, candidates)
+        self.speculation.launch_backups(view, view.active_jobs)

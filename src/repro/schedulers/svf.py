@@ -1,0 +1,41 @@
+"""SVF: Smallest Volume First (Sec. 4.2 baseline).
+
+"Jobs with the smallest volumes are scheduled first where the volume is
+defined as the product of the job processing time and the job resource
+demand" — the multi-resource volume uses the dominant share (Eq. 9), the
+same measure DollyMP's knapsack packs against.  SVF's failure mode,
+which Algorithm 1 fixes, is starving big-volume jobs indefinitely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.volume import job_volume
+from repro.schedulers.base import Scheduler
+from repro.schedulers.packing import fill_tasks_best_fit, pending_by_phase
+from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import ClusterView
+
+__all__ = ["SVFScheduler"]
+
+
+class SVFScheduler(Scheduler):
+    name = "SVF"
+
+    def __init__(self, *, speculation: SpeculationPolicy | None = None) -> None:
+        self.speculation = speculation if speculation is not None else NoSpeculation()
+
+    def schedule(self, view: "ClusterView") -> None:
+        total = view.cluster.total_capacity
+        jobs = sorted(
+            view.active_jobs,
+            key=lambda j: (job_volume(j, total, r=0.0), j.job_id),
+        )
+        for job in jobs:
+            candidates = pending_by_phase(job, view.time)
+            if candidates:
+                fill_tasks_best_fit(view, candidates)
+        self.speculation.launch_backups(view, view.active_jobs)

@@ -1,0 +1,116 @@
+"""Tetris: multi-resource packing + SRPT [Grandl et al., SIGCOMM'14].
+
+Tetris scores every (pending task, server) pair by an *alignment* term —
+the inner product of the task's demand and the server's remaining
+capacity, which favours placements leaving little fragmented space — and
+adds an SRPT-flavoured term favouring jobs with little remaining work;
+the pair with the highest combined score is placed first (Secs. 2, 6.1
+of the DollyMP paper describe this baseline as "a weighted score for
+each of the mapping pairs between the available server and unscheduled
+tasks").
+
+Both terms are normalized to comparable scales: alignment by the square
+of the largest server capacity, shortness to (0, 1].  ``epsilon`` weighs
+the SRPT term; the small default keeps alignment dominant, matching the
+behaviour in the paper's Fig. 2 example where Tetris prefers the
+perfectly-aligned large job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
+from repro.workload.job import Job
+from repro.workload.phase import Phase
+from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.server import Server
+    from repro.sim.engine import ClusterView
+
+__all__ = ["TetrisScheduler"]
+
+
+class _JobCandidate:
+    __slots__ = ("job", "phase", "queue", "shortness", "best_server", "best_align")
+
+    def __init__(self, job: Job, phase: Phase, queue: list[Task], shortness: float) -> None:
+        self.job = job
+        self.phase = phase
+        self.queue = queue
+        self.shortness = shortness
+        self.best_server: "Server | None" = None
+        self.best_align = -1.0
+
+
+class TetrisScheduler(Scheduler):
+    name = "Tetris"
+
+    def __init__(
+        self,
+        *,
+        epsilon: float = 0.2,
+        speculation: SpeculationPolicy | None = None,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+        self.speculation = speculation if speculation is not None else NoSpeculation()
+
+    # ------------------------------------------------------------------
+    def _candidate_phases(self, job: Job, now: float) -> list[Phase]:
+        """Which phases of the job to offer — overridable (Graphene picks
+        only the most downstream-critical ready phase instead)."""
+        return job.ready_phases(now)
+
+    def _rescore(self, cand: _JobCandidate, servers) -> None:
+        demand = cand.phase.demand
+        cand.best_server = None
+        cand.best_align = -1.0
+        for s in servers:
+            avail = s.available
+            if not demand.fits_in(avail):
+                continue
+            align = demand.dot(avail)
+            if align > cand.best_align:
+                cand.best_server, cand.best_align = s, align
+
+    def schedule(self, view: "ClusterView") -> None:
+        jobs = view.active_jobs
+        if not jobs:
+            return
+        remaining = {j.job_id: max(j.remaining_effective_length(0.0), 1e-9) for j in jobs}
+        max_rem = max(remaining.values())
+        cands: list[_JobCandidate] = []
+        for j in jobs:
+            shortness = 1.0 - remaining[j.job_id] / max_rem  # in [0, 1)
+            for phase in self._candidate_phases(j, view.time):
+                pending = [t for t in phase.tasks if t.state is TaskState.PENDING]
+                if pending:
+                    cands.append(_JobCandidate(j, phase, pending, shortness))
+        servers = view.cluster.servers
+        align_scale = max(s.capacity.dot(s.capacity) for s in servers)
+        for c in cands:
+            self._rescore(c, servers)
+        while True:
+            best: _JobCandidate | None = None
+            best_score = -1.0
+            for c in cands:
+                if not c.queue or c.best_server is None:
+                    continue
+                score = c.best_align / align_scale + self.epsilon * c.shortness
+                if score > best_score:
+                    best, best_score = c, score
+            if best is None:
+                break
+            task = best.queue.pop()
+            server = best.best_server
+            assert server is not None
+            view.launch(task, server)
+            for c in cands:
+                if c.best_server is server:
+                    self._rescore(c, servers)
+            cands = [c for c in cands if c.queue and c.best_server is not None]
+        self.speculation.launch_backups(view, jobs)

@@ -1,0 +1,17 @@
+"""Discrete-event cluster simulator: engine, events, metrics, runner."""
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.engine import SimulationEngine, ClusterView
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.runner import run_simulation
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "SimulationEngine",
+    "ClusterView",
+    "JobRecord",
+    "SimulationResult",
+    "run_simulation",
+]

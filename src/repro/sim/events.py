@@ -1,0 +1,68 @@
+"""Event types and the priority queue driving the simulation.
+
+The paper models a time-slotted system (Sec. 3); the engine is
+event-driven with an optional slot quantization of scheduling decisions
+(Sec. 6.3 uses 5-second slots).  Three event kinds exist:
+
+* ``JOB_ARRIVAL`` — job j becomes known to the scheduler at a_j;
+* ``COPY_FINISH`` — a task copy reaches its sampled duration;
+* ``SCHEDULE_TICK`` — a slot boundary at which scheduling decisions are
+  made (only used when the engine runs in slotted mode).
+
+Ties at equal timestamps are broken so state-changing events (finishes,
+arrivals) are processed before the tick that should observe them.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    # Numeric order = processing priority at equal timestamps.
+    COPY_FINISH = 0
+    JOB_ARRIVAL = 1
+    SCHEDULE_TICK = 2
+
+
+@dataclass(order=True)
+class Event:
+    time: float
+    kind: EventKind
+    seq: int = field(compare=True, default=0)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A heap of events with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        ev = Event(time, kind, next(self._seq), payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,65 @@
+"""Workload model: tasks, phases, DAG jobs, execution-time distributions,
+speedup functions, synthetic Google-trace generation and MapReduce-style
+job builders."""
+
+from repro.workload.distributions import (
+    ExecutionTimeDistribution,
+    Deterministic,
+    ParetoType1,
+    LogNormal,
+    ShiftedExponential,
+    EmpiricalDistribution,
+)
+from repro.workload.speedup import (
+    SpeedupFunction,
+    ParetoSpeedup,
+    NoSpeedup,
+    TabulatedSpeedup,
+    required_clones,
+)
+from repro.workload.task import Task, TaskCopy, TaskState
+from repro.workload.phase import Phase
+from repro.workload.job import Job
+from repro.workload.mapreduce import wordcount_job, pagerank_job, mapreduce_job
+from repro.workload.google_trace import (
+    GoogleTraceGenerator,
+    TraceJobSpec,
+    save_trace,
+    load_trace,
+    jobs_from_specs,
+)
+from repro.workload.arrivals import (
+    fixed_interarrival,
+    poisson_arrivals,
+    arrivals_from_list,
+)
+
+__all__ = [
+    "ExecutionTimeDistribution",
+    "Deterministic",
+    "ParetoType1",
+    "LogNormal",
+    "ShiftedExponential",
+    "EmpiricalDistribution",
+    "SpeedupFunction",
+    "ParetoSpeedup",
+    "NoSpeedup",
+    "TabulatedSpeedup",
+    "required_clones",
+    "Task",
+    "TaskCopy",
+    "TaskState",
+    "Phase",
+    "Job",
+    "wordcount_job",
+    "pagerank_job",
+    "mapreduce_job",
+    "GoogleTraceGenerator",
+    "TraceJobSpec",
+    "save_trace",
+    "load_trace",
+    "jobs_from_specs",
+    "fixed_interarrival",
+    "poisson_arrivals",
+    "arrivals_from_list",
+]

@@ -1,0 +1,155 @@
+"""A job phase: a set of parallel tasks with shared statistics.
+
+Phase φ_j^k of the paper has n_j^k identical-statistics tasks, a per-task
+demand (c_j^k, m_j^k), an execution-time mean θ_j^k and standard
+deviation σ_j^k (known on arrival, Sec. 3), plus DAG parents P(φ_j^k).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.resources import Resources
+from repro.workload.distributions import Deterministic, ExecutionTimeDistribution
+from repro.workload.speedup import NoSpeedup, ParetoSpeedup, SpeedupFunction
+from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.job import Job
+
+__all__ = ["Phase"]
+
+
+class Phase:
+    """One phase of a DAG job."""
+
+    __slots__ = (
+        "job",
+        "index",
+        "name",
+        "demand",
+        "distribution",
+        "speedup",
+        "parents",
+        "tasks",
+        "start_delay",
+        "_finished_count",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        num_tasks: int,
+        demand: Resources,
+        distribution: ExecutionTimeDistribution,
+        *,
+        name: str | None = None,
+        parents: tuple[int, ...] = (),
+        speedup: SpeedupFunction | None = None,
+        start_delay: float = 0.0,
+    ) -> None:
+        if num_tasks < 1:
+            raise ValueError(f"phase needs at least one task, got {num_tasks}")
+        if demand.cpu <= 0 and demand.mem <= 0:
+            raise ValueError("phase tasks must demand some resource")
+        if any(p >= index for p in parents):
+            raise ValueError("parents must precede the phase (indices < own index)")
+        if start_delay < 0:
+            raise ValueError(f"start_delay must be non-negative, got {start_delay}")
+        self.job: Optional["Job"] = None  # set by Job.__init__
+        self.index = index
+        self.name = name if name is not None else f"phase{index}"
+        self.demand = demand
+        self.distribution = distribution
+        self.parents = tuple(sorted(set(parents)))
+        #: Seconds after the last parent finishes before this phase's
+        #: tasks may launch — models the shuffle/data-transfer gap
+        #: between dependent phases (0 = instantaneous handoff).
+        self.start_delay = float(start_delay)
+        self.tasks = [Task(self, i) for i in range(num_tasks)]
+        # Finished-task counter (maintained by Task.complete) — phase
+        # readiness is checked constantly, so it must not be a scan.
+        self._finished_count = 0
+        if speedup is not None:
+            self.speedup = speedup
+        else:
+            self.speedup = _default_speedup(distribution)
+
+    # ------------------------------------------------------------------
+    # Statistics (θ, σ, effective processing time)
+    # ------------------------------------------------------------------
+    @property
+    def theta(self) -> float:
+        """θ_j^k — mean task execution time."""
+        return self.distribution.mean
+
+    @property
+    def sigma(self) -> float:
+        """σ_j^k — standard deviation of task execution time."""
+        return self.distribution.std
+
+    def effective_time(self, r: float) -> float:
+        """e_j^k = θ + r·σ (Sec. 5): the variance-penalized phase length.
+
+        ``r`` is DollyMP's deviation weight (the experiments use r = 1.5).
+        """
+        return self.theta + r * self.sigma
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def unfinished_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state is not TaskState.FINISHED]
+
+    def pending_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state is TaskState.PENDING]
+
+    def running_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state is TaskState.RUNNING]
+
+    def task_finished(self) -> None:
+        """Hook called by :meth:`Task.complete`."""
+        self._finished_count += 1
+        if self._finished_count > len(self.tasks):
+            raise RuntimeError(f"phase {self.name}: finished-count overflow")
+
+    @property
+    def num_unfinished(self) -> int:
+        """n_j^k(t) of Eq. (16)."""
+        return len(self.tasks) - self._finished_count
+
+    @property
+    def is_finished(self) -> bool:
+        return self._finished_count == len(self.tasks)
+
+    def finish_time(self) -> Optional[float]:
+        """λ_j^k — when the last task finished, or None if unfinished."""
+        if not self.is_finished:
+            return None
+        return max(t.finish_time for t in self.tasks)  # type: ignore[type-var]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        jid = self.job.job_id if self.job is not None else "?"
+        return f"Phase(j={jid}, k={self.index}, n={self.num_tasks}, θ={self.theta:g})"
+
+
+def _default_speedup(dist: ExecutionTimeDistribution) -> SpeedupFunction:
+    """Derive the speedup function the scheduler should assume.
+
+    Per Sec. 3, DollyMP fits a Pareto to the reported (θ, σ) — even when
+    the true distribution is not Pareto — and uses Eq. (3).  Degenerate
+    (zero-variance) phases get :class:`NoSpeedup`, matching the fact that
+    cloning a deterministic task cannot help.
+    """
+    if isinstance(dist, Deterministic) or dist.std == 0:
+        return NoSpeedup()
+    std = dist.std
+    if std == float("inf"):
+        # Heavy tail with infinite variance: fit with cv=2 as a pragmatic
+        # stand-in (α → small, speedup bound large).
+        std = 2.0 * dist.mean
+    return ParetoSpeedup.from_moments(dist.mean, std)

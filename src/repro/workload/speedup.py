@@ -1,0 +1,137 @@
+"""Cloning speedup functions h(r) (Eqs. 1 and 3 of the paper).
+
+Running ``r`` simultaneous copies of a task turns its completion time into
+the minimum of ``r`` samples; the paper summarizes this with a *speedup
+function* ``h`` such that ``E[Θ(r)] = θ / h(r)`` (Eq. 1), assumed strictly
+increasing and concave on the positive integers.  For Type-I Pareto task
+times the paper derives (Eq. 3)::
+
+    h(x) = 1 + (1 - 1/x) / (α - 1)
+
+which is bounded by ``R = α/(α-1)`` — the constant appearing in Thm. 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.workload.distributions import ParetoType1
+
+__all__ = [
+    "SpeedupFunction",
+    "ParetoSpeedup",
+    "NoSpeedup",
+    "TabulatedSpeedup",
+    "required_clones",
+]
+
+
+@runtime_checkable
+class SpeedupFunction(Protocol):
+    def __call__(self, r: float) -> float:
+        """Expected speedup from running ``r`` simultaneous copies."""
+        ...
+
+
+def _check_copies(r: float) -> None:
+    if r < 1:
+        raise ValueError(f"number of copies must be >= 1, got {r}")
+
+
+class ParetoSpeedup:
+    """Eq. (3): h(x) = 1 + (1 - 1/x)/(α - 1) for Pareto(α) task times."""
+
+    __slots__ = ("alpha",)
+
+    def __init__(self, alpha: float) -> None:
+        if alpha <= 1:
+            raise ValueError(f"alpha must exceed 1, got {alpha}")
+        self.alpha = float(alpha)
+
+    def __call__(self, r: float) -> float:
+        _check_copies(r)
+        return 1.0 + (1.0 - 1.0 / r) / (self.alpha - 1.0)
+
+    @property
+    def bound(self) -> float:
+        """R = sup_x h(x) = α/(α-1) — the constant of Thm. 1."""
+        return self.alpha / (self.alpha - 1.0)
+
+    @staticmethod
+    def from_moments(mean: float, std: float) -> "ParetoSpeedup":
+        """Fit α from the (θ, σ) the Application Master reports (Sec. 5.2)."""
+        return ParetoSpeedup(ParetoType1.from_moments(mean, std).alpha)
+
+    def __repr__(self) -> str:
+        return f"ParetoSpeedup(alpha={self.alpha:g})"
+
+
+class NoSpeedup:
+    """h(x) ≡ 1: cloning never helps (deterministic task times)."""
+
+    __slots__ = ()
+
+    def __call__(self, r: float) -> float:
+        _check_copies(r)
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "NoSpeedup()"
+
+
+class TabulatedSpeedup:
+    """Speedups measured empirically and interpolated between integers.
+
+    ``values[i]`` is h(i+1); h(1) must be 1 and the table must be
+    non-decreasing (concavity is the caller's responsibility — it holds
+    for any minimum-of-i.i.d. model).
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence[float]) -> None:
+        vals = [float(v) for v in values]
+        if not vals:
+            raise ValueError("need at least h(1)")
+        if abs(vals[0] - 1.0) > 1e-9:
+            raise ValueError(f"h(1) must be 1, got {vals[0]}")
+        for a, b in zip(vals, vals[1:]):
+            if b < a:
+                raise ValueError("speedup table must be non-decreasing")
+        self.values = vals
+
+    def __call__(self, r: float) -> float:
+        _check_copies(r)
+        idx = r - 1.0
+        lo = int(math.floor(idx))
+        if lo >= len(self.values) - 1:
+            return self.values[-1]
+        frac = idx - lo
+        return self.values[lo] * (1 - frac) + self.values[lo + 1] * frac
+
+    def __repr__(self) -> str:
+        return f"TabulatedSpeedup({self.values})"
+
+
+def required_clones(
+    theta: float,
+    deadline: float,
+    h: SpeedupFunction,
+    *,
+    max_copies: int = 64,
+) -> int | None:
+    """The r_j of Corollary 4.1: the least total copy count r with
+    ``deadline · h(r) ≥ θ``, or ``None`` if no r ≤ max_copies achieves it.
+
+    Returns the *total* number of simultaneous copies (original included);
+    the number of extra clones is ``r - 1``.
+    """
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    if deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    for r in range(1, max_copies + 1):
+        if deadline * h(r) >= theta:
+            return r
+    return None

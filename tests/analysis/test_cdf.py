@@ -1,0 +1,44 @@
+"""Unit tests for CDF helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_below, percentile
+
+
+class TestEmpiricalCDF:
+    def test_basic(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, f = empirical_cdf([])
+        assert x.size == 0 and f.size == 0
+
+    def test_duplicates(self):
+        x, f = empirical_cdf([2.0, 2.0])
+        assert f[-1] == 1.0
+
+
+class TestCdfAt:
+    def test_reads(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        got = cdf_at(vals, [0.5, 2.0, 2.5, 10.0])
+        assert list(got) == pytest.approx([0.0, 0.5, 0.5, 1.0])
+
+    def test_empty_values(self):
+        assert list(cdf_at([], [1.0])) == [0.0]
+
+
+class TestScalars:
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+
+    def test_percentile(self):
+        vals = np.arange(1, 101, dtype=float)
+        assert percentile(vals, 0.95) == pytest.approx(np.quantile(vals, 0.95))
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)

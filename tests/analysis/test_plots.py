@@ -1,0 +1,71 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+
+from repro.analysis.plots import ascii_bars, ascii_cdf, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        out = sparkline([5.0, 5.0, 5.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_monotone_series_monotone_blocks(self):
+        out = sparkline([0, 1, 2, 3, 4])
+        assert len(out) == 5
+        # Unicode block characters rise with value.
+        codes = [ord(c) for c in out]
+        assert codes == sorted(codes)
+
+    def test_extremes_map_to_extreme_blocks(self):
+        out = sparkline([0.0, 100.0])
+        assert out[0] == " " and out[1] == "█"
+
+
+class TestAsciiCdf:
+    def test_empty(self):
+        assert ascii_cdf({}) == "(no data)"
+
+    def test_shape_and_legend(self):
+        rng = np.random.default_rng(0)
+        out = ascii_cdf(
+            {"alpha": rng.uniform(0, 10, 50), "beta": rng.uniform(5, 20, 50)},
+            width=30,
+            height=8,
+        )
+        lines = out.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + xlabels + legend
+        assert "a=alpha" in lines[-1] and "b=beta" in lines[-1]
+        assert lines[0].startswith("1.00 |")
+
+    def test_markers_present(self):
+        out = ascii_cdf({"zzz": [1.0, 2.0, 3.0]}, width=20, height=6)
+        assert "z" in out
+
+    def test_overlap_marker(self):
+        out = ascii_cdf(
+            {"aaa": [1.0, 2.0], "bbb": [1.0, 2.0]}, width=20, height=6
+        )
+        assert "*" in out
+
+
+class TestAsciiBars:
+    def test_empty(self):
+        assert ascii_bars({}) == "(no data)"
+
+    def test_proportional(self):
+        out = ascii_bars({"big": 100.0, "small": 25.0}, width=40)
+        lines = out.splitlines()
+        big = next(l for l in lines if l.startswith("big"))
+        small = next(l for l in lines if l.startswith("small"))
+        assert big.count("█") > small.count("█")
+        assert "100" in big and "25" in small
+
+    def test_zero_value_has_no_bar(self):
+        out = ascii_bars({"a": 10.0, "b": 0.0})
+        b_line = next(l for l in out.splitlines() if l.startswith("b "))
+        assert "█" not in b_line

@@ -1,0 +1,92 @@
+"""Unit tests for report tables and per-job ratio distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    cdf_table,
+    comparison_table,
+    format_table,
+    pairwise_ratios,
+    ratio_cdf,
+)
+from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.resources import Resources
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.srpt import SRPTScheduler
+from repro.sim.runner import run_simulation
+from tests.conftest import make_single_task_job
+
+
+def run_pair():
+    def jobs():
+        return [
+            make_single_task_job(theta=10.0, job_id=1),
+            make_single_task_job(theta=1.0, job_id=2),
+        ]
+
+    a = run_simulation(
+        homogeneous_cluster(1, Resources.of(1, 100)), SRPTScheduler(), jobs(), seed=0
+    )
+    b = run_simulation(
+        homogeneous_cluster(1, Resources.of(1, 100)), FIFOScheduler(), jobs(), seed=0
+    )
+    return a, b
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 0.001234]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "0.00123" in out
+
+    def test_zero_renders_plain(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestComparisonTable:
+    def test_one_row_per_scheduler(self):
+        a, b = run_pair()
+        out = comparison_table({"SRPT": a, "FIFO": b})
+        assert "SRPT" in out and "FIFO" in out
+        assert "total_flowtime" in out
+
+
+class TestCdfTable:
+    def test_reads_at_points(self):
+        out = cdf_table({"s": [1.0, 2.0, 3.0]}, [2.0, 5.0], label="seconds")
+        assert "seconds" in out
+        assert "0.67" in out or "0.666" in out
+
+
+class TestRatios:
+    def test_pairwise_flowtime_ratios(self):
+        a, b = run_pair()
+        ratios = pairwise_ratios(a, b)
+        assert ratios.shape == (2,)
+        # SRPT strictly helps the short job on this instance.
+        assert ratios.min() < 1.0 or np.allclose(ratios, 1.0)
+
+    def test_ratio_cdf_metrics(self):
+        a, b = run_pair()
+        for metric in ("flowtime", "running_time", "usage"):
+            r = ratio_cdf(a, b, metric=metric)
+            assert r.shape == (2,)
+            assert np.all(r > 0)
+
+    def test_unknown_metric(self):
+        a, b = run_pair()
+        with pytest.raises(ValueError):
+            ratio_cdf(a, b, metric="bogus")
+
+    def test_mismatched_runs_rejected(self):
+        a, _ = run_pair()
+        c = run_simulation(
+            homogeneous_cluster(1, Resources.of(1, 100)),
+            FIFOScheduler(),
+            [make_single_task_job(job_id=9)],
+        )
+        with pytest.raises(ValueError):
+            pairwise_ratios(a, c)

@@ -1,0 +1,103 @@
+"""Unit tests for Cluster aggregates and queries."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import Server
+from repro.cluster.topology import Topology
+from repro.resources import Resources, ZERO
+from tests.cluster.test_server import make_copy, make_task
+
+
+def two_server_cluster():
+    return Cluster(
+        [Server(0, Resources.of(8, 16)), Server(1, Resources.of(4, 32))]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_ids_must_be_sequential(self):
+        with pytest.raises(ValueError):
+            Cluster([Server(1, Resources.of(1, 1))])
+
+    def test_topology_size_checked(self):
+        with pytest.raises(ValueError):
+            Cluster([Server(0, Resources.of(1, 1))], Topology([0, 0]))
+
+    def test_default_topology_single_rack(self):
+        c = two_server_cluster()
+        assert c.topology.num_racks == 1
+
+    def test_build_from_specs(self):
+        c = Cluster.build([(Resources.of(8, 16), 1.0), (Resources.of(4, 8), 1.5)])
+        assert len(c) == 2
+        assert c[1].slowdown == 1.5
+
+
+class TestAggregates:
+    def test_total_capacity(self):
+        c = two_server_cluster()
+        assert c.total_capacity == Resources.of(12, 48)
+
+    def test_total_allocated_and_available(self):
+        c = two_server_cluster()
+        c[0].allocate(make_copy(make_task(2, 4)))
+        assert c.total_allocated() == Resources.of(2, 4)
+        assert c.total_available() == Resources.of(10, 44)
+
+    def test_utilization(self):
+        c = two_server_cluster()
+        c[0].allocate(make_copy(make_task(6, 12)))
+        u = c.utilization()
+        assert u.cpu == pytest.approx(6 / 12)
+        assert u.mem == pytest.approx(12 / 48)
+
+    def test_running_copy_count(self):
+        c = two_server_cluster()
+        assert c.running_copy_count() == 0
+        c[0].allocate(make_copy(make_task(1, 1)))
+        c[1].allocate(make_copy(make_task(1, 1)))
+        assert c.running_copy_count() == 2
+
+
+class TestQueries:
+    def test_servers_fitting(self):
+        c = two_server_cluster()
+        fitting = c.servers_fitting(Resources.of(6, 6))
+        assert [s.server_id for s in fitting] == [0]
+
+    def test_any_fits(self):
+        c = two_server_cluster()
+        assert c.any_fits(Resources.of(4, 32))
+        assert not c.any_fits(Resources.of(9, 1))
+
+    def test_best_fit_prefers_max_alignment(self):
+        c = two_server_cluster()
+        # Demand (1, 8): dot with (8,16)=8+128=136; with (4,32)=4+256=260.
+        best = c.best_fit_server(Resources.of(1, 8))
+        assert best is not None and best.server_id == 1
+
+    def test_best_fit_none_when_nothing_fits(self):
+        c = two_server_cluster()
+        assert c.best_fit_server(Resources.of(100, 1)) is None
+
+    def test_best_fit_respects_current_allocation(self):
+        c = two_server_cluster()
+        c[1].allocate(make_copy(make_task(4, 1)))  # server 1 out of CPU
+        best = c.best_fit_server(Resources.of(1, 8))
+        assert best is not None and best.server_id == 0
+
+    def test_snapshot_available(self):
+        c = two_server_cluster()
+        snap = c.snapshot_available()
+        assert snap == [Resources.of(8, 16), Resources.of(4, 32)]
+        c[0].allocate(make_copy(make_task(1, 1)))
+        assert snap[0] == Resources.of(8, 16)  # snapshot is immutable
+
+    def test_iteration_order(self):
+        c = two_server_cluster()
+        assert [s.server_id for s in c] == [0, 1]

@@ -1,0 +1,53 @@
+"""Unit tests for the rack topology / locality model."""
+
+import pytest
+
+from repro.cluster.topology import LocalityLevel, Topology
+
+
+class TestTopology:
+    def test_two_racks_split(self):
+        t = Topology.two_racks(30)
+        assert t.num_racks == 2
+        assert t.rack(0) == 0
+        assert t.rack(14) == 0
+        assert t.rack(15) == 1
+        assert t.rack(29) == 1
+
+    def test_two_racks_odd_count(self):
+        t = Topology.two_racks(5)
+        assert [t.rack(i) for i in range(5)] == [0, 0, 0, 1, 1]
+
+    def test_single_rack(self):
+        t = Topology.single_rack(4)
+        assert t.num_racks == 1
+        assert t.servers_in_rack(0) == [0, 1, 2, 3]
+
+    def test_len(self):
+        assert len(Topology.two_racks(10)) == 10
+
+    def test_servers_in_rack(self):
+        t = Topology([0, 1, 0, 1])
+        assert t.servers_in_rack(0) == [0, 2]
+        assert t.servers_in_rack(1) == [1, 3]
+
+
+class TestLocality:
+    def test_no_preference_is_node_local(self):
+        t = Topology.two_racks(4)
+        assert t.locality(3, []) is LocalityLevel.NODE_LOCAL
+
+    def test_node_local(self):
+        t = Topology.two_racks(4)
+        assert t.locality(1, [1, 3]) is LocalityLevel.NODE_LOCAL
+
+    def test_rack_local(self):
+        t = Topology.two_racks(4)  # racks: [0,0,1,1]
+        assert t.locality(0, [1]) is LocalityLevel.RACK_LOCAL
+
+    def test_off_rack(self):
+        t = Topology.two_racks(4)
+        assert t.locality(0, [2, 3]) is LocalityLevel.OFF_RACK
+
+    def test_levels_ordered(self):
+        assert LocalityLevel.NODE_LOCAL < LocalityLevel.RACK_LOCAL < LocalityLevel.OFF_RACK

@@ -1,0 +1,134 @@
+"""Unit tests for the cloning policy and delay assignment (Secs. 4.1, 5, 5.2)."""
+
+import pytest
+
+from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.core.cloning_policy import (
+    CloningPolicy,
+    clone_resource_occupancy,
+    delay_assignment_map,
+)
+from repro.resources import Resources
+from repro.workload.distributions import ParetoType1
+from repro.workload.job import Job
+from repro.workload.phase import Phase
+from repro.workload.task import TaskCopy
+
+
+def running_task(theta=10.0, sigma=5.0, cpu=1.0, mem=1.0):
+    phase = Phase(0, 1, Resources.of(cpu, mem), ParetoType1.from_moments(theta, sigma))
+    Job([phase])
+    task = phase.tasks[0]
+    task.add_copy(TaskCopy(task, 0, 0.0, 10.0, is_clone=False))
+    return task
+
+
+class TestPolicyValidation:
+    def test_defaults_match_paper(self):
+        p = CloningPolicy()
+        assert p.max_clones == 2  # "the maximum number of clones ... is two"
+        assert p.budget_fraction == 0.3  # δ = 0.3 (Sec. 6.1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CloningPolicy(max_clones=-1)
+        with pytest.raises(ValueError):
+            CloningPolicy(budget_fraction=1.5)
+
+    def test_max_copies(self):
+        assert CloningPolicy(max_clones=2).max_copies == 3
+
+
+class TestMayClone:
+    def test_zero_clones_never(self):
+        assert not CloningPolicy(max_clones=0).may_clone(running_task())
+
+    def test_pending_task_never_cloned(self):
+        phase = Phase(0, 1, Resources.of(1, 1), ParetoType1.from_moments(5, 2))
+        Job([phase])
+        assert not CloningPolicy(max_clones=2).may_clone(phase.tasks[0])
+
+    def test_running_task_cloneable(self):
+        assert CloningPolicy(max_clones=2).may_clone(running_task())
+
+    def test_cap_respected(self):
+        policy = CloningPolicy(max_clones=1)
+        task = running_task()
+        task.add_copy(TaskCopy(task, 1, 0.0, 10.0, is_clone=True))
+        assert not policy.may_clone(task)
+
+    def test_killed_copy_frees_slot(self):
+        policy = CloningPolicy(max_clones=1)
+        task = running_task()
+        clone = TaskCopy(task, 1, 0.0, 10.0, is_clone=True)
+        task.add_copy(clone)
+        clone.killed = True
+        assert policy.may_clone(task)
+
+    def test_category_target_limits_copies(self):
+        """Cor. 4.1 mode: r_j copies suffice to meet the category length."""
+        policy = CloningPolicy(max_clones=3, use_category_target=True)
+        task = running_task(theta=10.0, sigma=5.0)
+        h = task.phase.speedup
+        # Category long enough that one copy suffices → no clone wanted.
+        loose = 2.0 * 10.0 / h(1)
+        assert not policy.may_clone(task, category_length=loose)
+        # Tight category → cloning allowed up to the cap.
+        assert policy.may_clone(task, category_length=9.0)
+
+
+class TestBudget:
+    def test_occupancy_counts_only_live_clones(self):
+        cluster = homogeneous_cluster(2, Resources.of(8, 8))
+        task = running_task(cpu=2.0, mem=2.0)
+        orig = task.copies[0]
+        cluster[0].allocate(orig)
+        assert clone_resource_occupancy(cluster).is_zero()
+        clone = TaskCopy(task, 1, 0.0, 10.0, is_clone=True)
+        task.add_copy(clone)
+        cluster[1].allocate(clone)
+        assert clone_resource_occupancy(cluster) == Resources.of(2, 2)
+
+    def test_budget_remaining(self):
+        cluster = homogeneous_cluster(2, Resources.of(10, 10))  # total (20,20)
+        policy = CloningPolicy(budget_fraction=0.25)
+        rem = policy.budget_remaining(cluster)
+        assert rem == Resources.of(5, 5)
+
+    def test_budget_disabled_at_one(self):
+        cluster = homogeneous_cluster(1, Resources.of(10, 10))
+        policy = CloningPolicy(budget_fraction=1.0)
+        assert policy.budget_remaining(cluster) == cluster.total_capacity
+
+    def test_within_budget(self):
+        cluster = homogeneous_cluster(1, Resources.of(10, 10))
+        policy = CloningPolicy(budget_fraction=0.3)
+        assert policy.within_budget(cluster, Resources.of(3, 3))
+        assert not policy.within_budget(cluster, Resources.of(4, 3))
+
+
+class TestDelayAssignment:
+    def test_more_upstream_than_downstream(self):
+        # 4 upstream copies, 2 downstream: each downstream gets two feeds,
+        # dealt round-robin from the earliest finishers.
+        got = delay_assignment_map(4, 2)
+        assert got == {0: [0, 2], 1: [1, 3]}
+
+    def test_excess_upstream_ignored_beyond_two_each(self):
+        got = delay_assignment_map(10, 2)
+        assert all(len(v) == 2 for v in got.values())
+
+    def test_fewer_upstream_than_downstream(self):
+        # First finisher feeds everyone (Sec. 5.2 second case).
+        got = delay_assignment_map(1, 3)
+        assert got == {0: [0], 1: [0], 2: [0]}
+
+    def test_equal_counts(self):
+        got = delay_assignment_map(2, 2)
+        assert got == {0: [0], 1: [1]}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delay_assignment_map(0, 1)
+        with pytest.raises(ValueError):
+            delay_assignment_map(1, 0)

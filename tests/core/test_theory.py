@@ -1,0 +1,137 @@
+"""Unit tests for the Sec. 4.1 closed forms and Theorem 1 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    cloning_helps_condition,
+    empirical_competitive_ratio,
+    flow_schedule_all_then_clone_smallest,
+    flow_serial_maximal_cloning,
+    flow_two_clones_smallest_first,
+    flowtime_lower_bound,
+    theorem1_bound_holds,
+)
+from repro.core.transient import compute_priorities
+from repro.core.volume import JobMeasure
+from repro.workload.speedup import ParetoSpeedup
+
+
+def m(job_id, volume, length, share=0.1):
+    return JobMeasure(
+        job_id=job_id, volume=volume, length=length, max_dominant_share=share
+    )
+
+
+class TestClosedForms:
+    def test_flow1_formula(self):
+        h = ParetoSpeedup(2.0)  # h(2) = 1.5
+        assert flow_schedule_all_then_clone_smallest(5, h) == pytest.approx(
+            4 + 1 / 1.5
+        )
+
+    def test_flow2_formula(self):
+        h = ParetoSpeedup(2.0)
+        expected = sum(j / h(2.0**j) for j in range(1, 4))
+        assert flow_serial_maximal_cloning(3, h) == pytest.approx(expected)
+
+    def test_flow3_formula(self):
+        h = ParetoSpeedup(2.0)
+        assert flow_two_clones_smallest_first(5, h) == pytest.approx(6 / 1.5)
+
+    def test_paper_ordering_flow3_lt_flow1_lt_flow2(self):
+        """The Sec. 4.1 conclusion for a Pareto speedup and large N."""
+        alpha = 2.0
+        h = ParetoSpeedup(alpha)
+        for n in range(4, 30):
+            assert cloning_helps_condition(n, alpha)
+            f1 = flow_schedule_all_then_clone_smallest(n, h)
+            f2 = flow_serial_maximal_cloning(n, h)
+            f3 = flow_two_clones_smallest_first(n, h)
+            assert f3 < f1 < f2, f"ordering broken at N={n}"
+
+    def test_condition_false_for_tiny_n(self):
+        assert not cloning_helps_condition(2, 2.0)
+
+    def test_validation(self):
+        h = ParetoSpeedup(2.0)
+        with pytest.raises(ValueError):
+            flow_schedule_all_then_clone_smallest(0, h)
+        with pytest.raises(ValueError):
+            cloning_helps_condition(5, 1.0)
+
+
+class TestLowerBound:
+    def test_empty(self):
+        assert flowtime_lower_bound([]) == 0.0
+
+    def test_single_job_at_least_its_volume(self):
+        lb = flowtime_lower_bound([m(0, 5.0, 5.0)])
+        assert lb >= 5.0
+
+    def test_volume_bound_tight_for_saturating_jobs(self):
+        """n identical unit-volume jobs on capacity 1: F* ≥ 1+2+…+n."""
+        n = 6
+        measures = [m(i, 1.0, 1.0, share=1.0) for i in range(n)]
+        assert flowtime_lower_bound(measures) >= n * (n + 1) / 2
+
+    def test_monotone_in_job_count(self):
+        small = [m(i, 1.0, 2.0) for i in range(3)]
+        big = small + [m(9, 1.0, 2.0)]
+        assert flowtime_lower_bound(big) > flowtime_lower_bound(small)
+
+    def test_serial_schedule_dominates_bound(self):
+        """A feasible serial schedule's flowtime must be ≥ the bound."""
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = int(rng.integers(1, 10))
+            measures = [
+                m(i, float(rng.uniform(0.1, 2.0)), float(rng.uniform(0.5, 4.0)), share=1.0)
+                for i in range(n)
+            ]
+            # Serial SRPT-by-length schedule on capacity 1 (lengths define
+            # the serial service times; every job occupies the machine).
+            order = sorted(measures, key=lambda x: x.length)
+            t, flow = 0.0, 0.0
+            for job in order:
+                t += job.length
+                flow += t
+            assert flow >= flowtime_lower_bound(measures) - 1e-9
+
+
+class TestTheorem1:
+    def test_ratio_computation(self):
+        measures = [m(i, 1.0, 1.0) for i in range(4)]
+        lb = flowtime_lower_bound(measures)
+        assert empirical_competitive_ratio(2 * lb, measures) == pytest.approx(2.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_competitive_ratio(1.0, [])
+
+    def test_bound_holds_for_priority_order_schedule(self):
+        """Simulate Algorithm 1's order serially: must stay within 6R."""
+        rng = np.random.default_rng(11)
+        h = ParetoSpeedup(3.0)  # R = 1.5
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            measures = [
+                m(
+                    i,
+                    float(rng.uniform(0.05, 3.0)),
+                    float(rng.uniform(0.5, 8.0)),
+                    share=1.0,
+                )
+                for i in range(n)
+            ]
+            prios = compute_priorities(measures)
+            order = sorted(measures, key=lambda x: (prios[x.job_id], x.volume))
+            t, flow = 0.0, 0.0
+            for job in order:
+                t += job.length
+                flow += t
+            assert theorem1_bound_holds(flow, measures, h.bound)
+
+    def test_bad_speedup_bound_rejected(self):
+        with pytest.raises(ValueError):
+            theorem1_bound_holds(1.0, [m(0, 1.0, 1.0)], 0.5)

@@ -1,0 +1,51 @@
+"""Every example script must run clean end-to-end (small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Cluster: 30 nodes, 328 cores" in out
+    assert "total_flowtime" in out
+
+
+def test_cloning_analysis():
+    out = run_example("cloning_analysis.py")
+    assert "h(2)" in out
+    assert "flow3" in out
+    assert "unreachable" in out
+
+
+def test_scheduler_comparison_small():
+    out = run_example("scheduler_comparison.py", "16")
+    assert "Capacity" in out and "DollyMP^2" in out
+    assert "Best:" in out
+
+
+def test_straggler_learning():
+    out = run_example("straggler_learning.py")
+    assert "Identified straggler servers: [0, 1, 2, 3]" in out
+
+
+@pytest.mark.slow
+def test_trace_replay():
+    out = run_example("trace_replay.py")
+    assert "Trace written" in out
+    assert "average speedup" in out

@@ -1,0 +1,167 @@
+"""Invariants every scheduling policy must satisfy, checked end-to-end
+on a shared stochastic workload.
+
+The engine enforces Eq. (5) (capacity) and Eq. (7) (DAG gating) with
+hard errors, so merely completing the run proves those; the assertions
+here cover conservation and bookkeeping invariants.
+"""
+
+import pytest
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.schedulers.carbyne import CarbyneScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.fifo import CapacityScheduler, FIFOScheduler
+from repro.schedulers.graphene import GrapheneScheduler
+from repro.schedulers.srpt import SRPTScheduler
+from repro.schedulers.svf import SVFScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.core.online import DollyMPScheduler
+from repro.sim.engine import SimulationEngine
+from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
+from repro.workload.task import TaskState
+
+ALL_SCHEDULERS = {
+    "FIFO": FIFOScheduler,
+    "Capacity": CapacityScheduler,
+    "SRPT": SRPTScheduler,
+    "SVF": SVFScheduler,
+    "DRF": DRFScheduler,
+    "Tetris": TetrisScheduler,
+    "Carbyne": CarbyneScheduler,
+    "Graphene": GrapheneScheduler,
+    "DollyMP0": lambda: DollyMPScheduler(max_clones=0),
+    "DollyMP2": lambda: DollyMPScheduler(max_clones=2),
+}
+
+
+def workload():
+    gen = GoogleTraceGenerator(seed=17, mean_theta=15.0)
+    specs = gen.generate(25, mean_interarrival=10.0)
+    # Clamp demands to fit the paper cluster's smallest nodes.
+    return jobs_from_specs(specs)
+
+
+@pytest.fixture(scope="module", params=sorted(ALL_SCHEDULERS))
+def engine(request):
+    """One completed run per scheduler, shared by all invariant tests."""
+    eng = SimulationEngine(
+        paper_cluster_30_nodes(),
+        ALL_SCHEDULERS[request.param](),
+        workload(),
+        seed=5,
+        max_time=1e6,
+    )
+    eng.result = eng.run()
+    eng.policy_name = request.param
+    return eng
+
+
+class TestInvariants:
+
+    def test_all_jobs_complete(self, engine):
+        assert engine.result.num_jobs == 25
+        assert not engine.active_jobs
+
+    def test_all_resources_released(self, engine):
+        assert engine.cluster.total_allocated().is_zero()
+        assert engine.clone_occupancy.is_zero()
+        for server in engine.cluster:
+            assert not server.running_copies
+
+    def test_every_task_finished_exactly_once(self, engine):
+        for job in engine.finished_jobs:
+            for phase in job.phases:
+                for task in phase.tasks:
+                    assert task.state is TaskState.FINISHED
+                    winners = [c for c in task.copies if c.finished]
+                    assert len(winners) == 1
+                    losers = [c for c in task.copies if c.killed]
+                    assert len(losers) == len(task.copies) - 1
+                    assert task.num_live_copies == 0
+
+    def test_first_copy_wins_semantics(self, engine):
+        """The winning copy's finish time equals the task finish time and
+        is minimal among the task's copies' (untruncated) finish times."""
+        for job in engine.finished_jobs:
+            for phase in job.phases:
+                for task in phase.tasks:
+                    winner = next(c for c in task.copies if c.finished)
+                    assert winner.finish_time == pytest.approx(task.finish_time)
+                    for c in task.copies:
+                        if c.killed:
+                            # Killed at the winner's finish; its truncated
+                            # end cannot precede its start.
+                            assert c.duration > 0
+
+    def test_flowtimes_positive_and_causal(self, engine):
+        for rec in engine.result.records:
+            assert rec.flowtime > 0
+            assert rec.first_start_time >= rec.arrival_time - 1e-9
+            assert rec.finish_time >= rec.first_start_time
+
+    def test_phase_dependencies_respected(self, engine):
+        """No task started before all parent phases finished."""
+        for job in engine.finished_jobs:
+            for phase in job.phases:
+                earliest = min(
+                    c.start_time for t in phase.tasks for c in t.copies
+                )
+                for p in phase.parents:
+                    parent_done = job.phases[p].finish_time()
+                    assert earliest >= parent_done - 1e-9
+
+    def test_usage_accounting_consistent(self, engine):
+        """Σ per-job cpu-seconds equals the engine's utilization integral."""
+        total_cpu_seconds = sum(r.cpu_seconds for r in engine.result.records)
+        integral = engine._alloc_integral_cpu
+        assert total_cpu_seconds == pytest.approx(integral, rel=1e-6)
+
+    def test_clone_counts_match_records(self, engine):
+        assert (
+            sum(r.num_clones for r in engine.result.records)
+            == engine.clones_launched
+        )
+        assert (
+            sum(r.num_copies for r in engine.result.records)
+            == engine.copies_launched
+        )
+
+
+class TestCloneCapInvariant:
+    @pytest.mark.parametrize("cap", [0, 1, 2, 3])
+    def test_dollymp_copy_cap(self, cap):
+        engine = SimulationEngine(
+            paper_cluster_30_nodes(),
+            DollyMPScheduler(max_clones=cap),
+            workload(),
+            seed=5,
+            max_time=1e6,
+        )
+        engine.run()
+        for job in engine.finished_jobs:
+            for phase in job.phases:
+                for task in phase.tasks:
+                    assert len(task.copies) <= cap + 1
+
+
+class TestSlottedEquivalence:
+    def test_slotted_run_completes_same_jobs(self):
+        ev = SimulationEngine(
+            paper_cluster_30_nodes(),
+            DollyMPScheduler(max_clones=2),
+            workload(),
+            seed=5,
+            max_time=1e6,
+        ).run()
+        sl = SimulationEngine(
+            paper_cluster_30_nodes(),
+            DollyMPScheduler(max_clones=2),
+            workload(),
+            seed=5,
+            schedule_interval=5.0,
+            max_time=1e6,
+        ).run()
+        assert ev.num_jobs == sl.num_jobs == 25
+        # Slot quantization delays starts, never loses work.
+        assert sl.total_flowtime >= ev.total_flowtime * 0.5

@@ -1,0 +1,151 @@
+"""Unit tests for the shared placement loops."""
+
+import pytest
+
+from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.resources import Resources
+from repro.schedulers.base import Scheduler
+from repro.schedulers.packing import (
+    fill_clones_best_fit,
+    fill_tasks_best_fit,
+    next_pending_task,
+    pending_by_phase,
+)
+from repro.sim.engine import SimulationEngine
+from repro.workload.distributions import Deterministic
+from repro.workload.job import Job
+from repro.workload.phase import Phase
+from tests.conftest import make_chain_job, make_diamond_job
+
+
+class _Null(Scheduler):
+    name = "null"
+
+    def schedule(self, view):
+        pass
+
+
+def make_view(cluster, jobs, t=0.0):
+    """An engine view with all jobs activated (no events processed)."""
+    engine = SimulationEngine(cluster, _Null(), jobs)
+    for j in jobs:
+        engine.active_jobs[j.job_id] = j
+    return engine.view
+
+
+class TestPendingByPhase:
+    def test_only_ready_phases(self):
+        job = make_chain_job(2, 3)
+        got = pending_by_phase(job)
+        assert [p.index for p, _ in got] == [0]
+        assert len(got[0][1]) == 3
+
+    def test_parallel_branches_offered(self):
+        job = make_diamond_job()
+        for t in job.phases[0].tasks:
+            t.complete(1.0)
+        got = pending_by_phase(job)
+        assert [p.index for p, _ in got] == [1, 2]
+
+    def test_next_pending_task(self):
+        job = make_chain_job(1, 2)
+        t = next_pending_task(job)
+        assert t is job.phases[0].tasks[0]
+        t.complete(1.0)
+        assert next_pending_task(job) is job.phases[0].tasks[1]
+        job.phases[0].tasks[1].complete(1.0)
+        assert next_pending_task(job) is None
+
+
+class TestFillTasks:
+    def test_fills_until_capacity(self):
+        cluster = homogeneous_cluster(1, Resources.of(4, 8))
+        job = make_chain_job(1, 10, cpu=1.0, mem=1.0, theta=5.0)
+        view = make_view(cluster, [job])
+        launched = fill_tasks_best_fit(view, pending_by_phase(job))
+        assert launched == 4  # CPU-bound
+
+    def test_empty_candidates(self):
+        cluster = homogeneous_cluster(1, Resources.of(4, 8))
+        job = make_chain_job(1, 1)
+        view = make_view(cluster, [job])
+        assert fill_tasks_best_fit(view, []) == 0
+
+    def test_best_fit_prefers_aligned_server(self):
+        # Memory-heavy task should land on the memory-rich server.
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.server import Server
+
+        cluster = Cluster(
+            [Server(0, Resources.of(16, 8)), Server(1, Resources.of(4, 64))]
+        )
+        phase = Phase(0, 1, Resources.of(1, 8), Deterministic(5.0))
+        job = Job([phase])
+        view = make_view(cluster, [job])
+        fill_tasks_best_fit(view, pending_by_phase(job))
+        assert phase.tasks[0].copies[0].server_id == 1
+
+    def test_on_launch_callback(self):
+        cluster = homogeneous_cluster(1, Resources.of(4, 8))
+        job = make_chain_job(1, 2, theta=5.0)
+        view = make_view(cluster, [job])
+        seen = []
+        fill_tasks_best_fit(
+            view, pending_by_phase(job), on_launch=lambda t, s: seen.append(t.uid)
+        )
+        assert len(seen) == 2
+
+    def test_mixed_demands_pack_tightly(self):
+        """The loop should keep placing small tasks after big ones stop
+        fitting."""
+        cluster = homogeneous_cluster(1, Resources.of(10, 100))
+        big = Phase(0, 2, Resources.of(4, 4), Deterministic(5.0))
+        big_job = Job([big])
+        small = Phase(0, 5, Resources.of(1, 1), Deterministic(5.0))
+        small_job = Job([small])
+        view = make_view(cluster, [big_job, small_job])
+        launched = fill_tasks_best_fit(
+            view, pending_by_phase(big_job) + pending_by_phase(small_job)
+        )
+        # 2 big (8 cpu) + 2 small (2 cpu) = 10 cpu.
+        assert launched == 4
+        assert cluster[0].available.cpu == pytest.approx(0.0)
+
+
+class TestFillClones:
+    def test_one_clone_per_listed_task(self):
+        cluster = homogeneous_cluster(2, Resources.of(4, 8))
+        job = make_chain_job(1, 2, theta=10.0)
+        view = make_view(cluster, [job])
+        fill_tasks_best_fit(view, pending_by_phase(job))
+        running = job.phases[0].tasks
+        launched = fill_clones_best_fit(view, list(running))
+        assert launched == 2
+        assert all(t.num_live_copies == 2 for t in running)
+
+    def test_budget_check_blocks(self):
+        cluster = homogeneous_cluster(2, Resources.of(4, 8))
+        job = make_chain_job(1, 2, theta=10.0)
+        view = make_view(cluster, [job])
+        fill_tasks_best_fit(view, pending_by_phase(job))
+        launched = fill_clones_best_fit(
+            view, list(job.phases[0].tasks), budget_check=lambda t: False
+        )
+        assert launched == 0
+
+    def test_pending_tasks_skipped(self):
+        cluster = homogeneous_cluster(1, Resources.of(4, 8))
+        job = make_chain_job(1, 1, theta=10.0)
+        view = make_view(cluster, [job])
+        launched = fill_clones_best_fit(view, list(job.phases[0].tasks))
+        assert launched == 0  # never ran, nothing to clone
+
+    def test_max_launches(self):
+        cluster = homogeneous_cluster(4, Resources.of(4, 8))
+        job = make_chain_job(1, 4, theta=10.0)
+        view = make_view(cluster, [job])
+        fill_tasks_best_fit(view, pending_by_phase(job))
+        launched = fill_clones_best_fit(
+            view, list(job.phases[0].tasks), max_launches=2
+        )
+        assert launched == 2

@@ -1,0 +1,312 @@
+"""Integration-grade unit tests for the discrete-event engine.
+
+These pin down the semantics every figure depends on: capacity
+enforcement (Eq. 5), DAG gating (Eq. 7), job completion (Eq. 8),
+first-copy-wins cloning, slotted vs event-driven scheduling, and the
+deadlock/starvation guards.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.heterogeneity import homogeneous_cluster, single_server_cluster
+from repro.resources import Resources
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import SimulationEngine
+from repro.workload.distributions import Deterministic
+from repro.workload.job import Job
+from repro.workload.phase import Phase
+from repro.workload.task import TaskState
+from tests.conftest import make_chain_job, make_diamond_job, make_single_task_job
+
+
+def run(cluster, jobs, scheduler=None, **kw):
+    engine = SimulationEngine(
+        cluster, scheduler or FIFOScheduler(), jobs, max_time=kw.pop("max_time", 1e6), **kw
+    )
+    return engine, engine.run()
+
+
+class TestBasicExecution:
+    def test_single_deterministic_job(self, small_cluster):
+        job = make_single_task_job(theta=10.0)
+        _, result = run(small_cluster, [job])
+        assert job.finish_time == pytest.approx(10.0)
+        assert result.num_jobs == 1
+        assert result.records[0].flowtime == pytest.approx(10.0)
+
+    def test_arrival_time_respected(self, small_cluster):
+        job = make_single_task_job(theta=10.0, arrival_time=5.0)
+        run(small_cluster, [job])
+        assert job.first_start_time() == pytest.approx(5.0)
+        assert job.finish_time == pytest.approx(15.0)
+
+    def test_slowdown_scales_duration(self):
+        cluster = homogeneous_cluster(1, Resources.of(4, 8), slowdown=2.0)
+        job = make_single_task_job(theta=10.0)
+        run(cluster, [job])
+        assert job.finish_time == pytest.approx(20.0)
+
+    def test_parallel_tasks_overlap(self, small_cluster):
+        # 4 servers × 8 cores: 8 one-core tasks all fit at once.
+        job = make_chain_job(1, 8, theta=10.0)
+        run(small_cluster, [job])
+        assert job.finish_time == pytest.approx(10.0)
+
+    def test_chain_phases_serialize(self, small_cluster):
+        job = make_chain_job(3, 2, theta=10.0)
+        run(small_cluster, [job])
+        assert job.finish_time == pytest.approx(30.0)
+
+    def test_diamond_dag_timing(self, small_cluster):
+        job = make_diamond_job(theta=5.0)
+        run(small_cluster, [job])
+        # 0 (5s) → 1 & 2 in parallel (5s) → 3 (5s)
+        assert job.finish_time == pytest.approx(15.0)
+
+    def test_jobs_sorted_by_arrival(self, small_cluster):
+        late = make_single_task_job(theta=1.0, arrival_time=50.0, job_id=2)
+        early = make_single_task_job(theta=1.0, arrival_time=0.0, job_id=1)
+        _, result = run(small_cluster, [late, early])
+        assert result.num_jobs == 2
+
+
+class TestCapacityEnforcement:
+    def test_tasks_queue_when_full(self):
+        cluster = homogeneous_cluster(1, Resources.of(1, 2))
+        # Two 1-core tasks on a 1-core server must serialize.
+        job = make_chain_job(1, 2, cpu=1.0, mem=1.0, theta=10.0)
+        run(cluster, [job])
+        assert job.finish_time == pytest.approx(20.0)
+
+    def test_infeasible_task_rejected_upfront(self):
+        cluster = homogeneous_cluster(2, Resources.of(4, 4))
+        job = make_single_task_job(cpu=5.0, mem=1.0)
+        with pytest.raises(ValueError, match="exceeds every server"):
+            SimulationEngine(cluster, FIFOScheduler(), [job])
+
+    def test_memory_constrains_too(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 4))
+        job = make_chain_job(1, 2, cpu=1.0, mem=4.0, theta=10.0)
+        run(cluster, [job])
+        assert job.finish_time == pytest.approx(20.0)  # memory-serialized
+
+    def test_launch_over_capacity_raises(self):
+        cluster = single_server_cluster(Resources.of(1, 1))
+        job = make_chain_job(1, 2, cpu=1.0, mem=1.0, theta=5.0)
+
+        class Greedy(Scheduler):
+            name = "greedy"
+
+            def schedule(self, view):
+                for task in view.active_jobs[0].ready_tasks():
+                    view.launch(task, view.cluster[0])
+
+        engine = SimulationEngine(cluster, Greedy(), [job])
+        with pytest.raises(RuntimeError, match="cannot fit"):
+            engine.run()
+
+
+class TestDAGGating:
+    def test_launching_gated_task_raises(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 8))
+        job = make_chain_job(2, 1, theta=5.0)
+
+        class Jumper(Scheduler):
+            name = "jumper"
+
+            def schedule(self, view):
+                if not view.active_jobs:
+                    return
+                phase2 = view.active_jobs[0].phases[1]
+                if phase2.tasks[0].state is TaskState.PENDING:
+                    view.launch(phase2.tasks[0], view.cluster[0])
+
+        engine = SimulationEngine(cluster, Jumper(), [job], max_time=100)
+        with pytest.raises(RuntimeError, match="Eq. 7"):
+            engine.run()
+
+
+class TestCloning:
+    def test_first_copy_wins_and_kills_rest(self):
+        cluster = homogeneous_cluster(2, Resources.of(4, 4), slowdown=1.0)
+        job = make_single_task_job(theta=10.0)
+
+        class CloneOnce(Scheduler):
+            name = "clone-once"
+
+            def schedule(self, view):
+                for j in view.active_jobs:
+                    for t in j.ready_tasks():
+                        view.launch(t, view.cluster[0])
+                        view.launch(t, view.cluster[1], clone=True)
+
+        engine = SimulationEngine(cluster, CloneOnce(), [job])
+        result = engine.run()
+        task = job.phases[0].tasks[0]
+        assert task.state is TaskState.FINISHED
+        assert len(task.copies) == 2
+        finished = [c for c in task.copies if c.finished]
+        killed = [c for c in task.copies if c.killed]
+        assert len(finished) == 1 and len(killed) == 1
+        assert engine.clones_launched == 1
+        assert result.records[0].num_clones == 1
+        # All resources released at the end.
+        assert engine.cluster.total_allocated().is_zero()
+
+    def test_killed_copy_frees_resources_immediately(self):
+        cluster = homogeneous_cluster(2, Resources.of(1, 1))
+        job = make_single_task_job(cpu=1.0, mem=1.0, theta=10.0)
+
+        class CloneOnce(Scheduler):
+            name = "clone-once"
+
+            def schedule(self, view):
+                for j in view.active_jobs:
+                    for t in j.ready_tasks():
+                        view.launch(t, view.cluster[0])
+                        view.launch(t, view.cluster[1], clone=True)
+
+        engine = SimulationEngine(cluster, CloneOnce(), [job])
+        engine.run()
+        assert cluster[0].allocated.is_zero()
+        assert cluster[1].allocated.is_zero()
+
+    def test_killed_copy_usage_truncated(self):
+        """A clone killed at t charges only its actual runtime (Fig. 8b)."""
+        cluster = homogeneous_cluster(1, Resources.of(4, 4), slowdown=1.0)
+        slow = homogeneous_cluster(1, Resources.of(4, 4))  # unused, clarity
+        del slow
+        job = make_single_task_job(theta=10.0, sigma=5.0)
+
+        class CloneOnce(Scheduler):
+            name = "clone-once"
+
+            def schedule(self, view):
+                for j in view.active_jobs:
+                    for t in j.ready_tasks():
+                        view.launch(t, view.cluster[0])
+                        view.launch(t, view.cluster[0], clone=True)
+
+        engine = SimulationEngine(cluster, CloneOnce(), [job], seed=5)
+        engine.run()
+        task = job.phases[0].tasks[0]
+        killed = [c for c in task.copies if c.killed]
+        finished = [c for c in task.copies if c.finished]
+        assert len(killed) == 1 and len(finished) == 1
+        assert killed[0].duration <= finished[0].duration + 1e-9
+
+    def test_max_copies_cap_enforced(self):
+        cluster = homogeneous_cluster(4, Resources.of(4, 4))
+        job = make_single_task_job(theta=10.0)
+
+        class CloneStorm(Scheduler):
+            name = "storm"
+
+            def schedule(self, view):
+                for j in view.active_jobs:
+                    for t in j.ready_tasks():
+                        for s in view.cluster:
+                            view.launch(t, s)
+
+        engine = SimulationEngine(cluster, CloneStorm(), [job], max_copies_per_task=2)
+        with pytest.raises(RuntimeError, match="copy cap"):
+            engine.run()
+
+
+class TestSlottedMode:
+    def test_scheduling_quantized_to_slots(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 8))
+        # Job arrives at t=3; with 5s slots it cannot start before t=5.
+        job = make_single_task_job(theta=10.0, arrival_time=3.0)
+        _, result = run(cluster, [job], schedule_interval=5.0)
+        assert job.first_start_time() == pytest.approx(5.0)
+        assert job.finish_time == pytest.approx(15.0)
+
+    def test_slot_jump_over_idle_gap(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 8))
+        jobs = [
+            make_single_task_job(theta=2.0, arrival_time=0.0, job_id=1),
+            make_single_task_job(theta=2.0, arrival_time=1000.0, job_id=2),
+        ]
+        engine, _ = run(cluster, jobs, schedule_interval=5.0)
+        # Far fewer ticks than 1000/5 if the idle gap is jumped.
+        assert len(engine.schedule_pass_seconds) < 50
+
+    def test_event_mode_schedules_immediately(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 8))
+        job = make_single_task_job(theta=10.0, arrival_time=3.0)
+        run(cluster, [job], schedule_interval=0.0)
+        assert job.first_start_time() == pytest.approx(3.0)
+
+
+class TestGuards:
+    def test_max_time_exceeded(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 8))
+        job = make_single_task_job(theta=100.0)
+        with pytest.raises(RuntimeError, match="max_time"):
+            run(cluster, [job], max_time=10.0)
+
+    def test_starvation_detected(self):
+        cluster = homogeneous_cluster(1, Resources.of(8, 8))
+        job = make_single_task_job(theta=5.0)
+
+        class DoNothing(Scheduler):
+            name = "lazy"
+
+            def schedule(self, view):
+                pass
+
+        engine = SimulationEngine(cluster, DoNothing(), [job], max_time=100)
+        with pytest.raises(RuntimeError, match="starved"):
+            engine.run()
+
+    def test_needs_jobs(self, small_cluster):
+        with pytest.raises(ValueError):
+            SimulationEngine(small_cluster, FIFOScheduler(), [])
+
+
+class TestAccounting:
+    def test_utilization_integral(self):
+        cluster = homogeneous_cluster(1, Resources.of(2, 2))
+        # One 1-core/1-GB task for 10s on a 2-core/2-GB server,
+        # sim ends at t=10 → average utilization 50%.
+        job = make_single_task_job(cpu=1.0, mem=1.0, theta=10.0)
+        engine, result = run(cluster, [job])
+        assert result.avg_utilization.cpu == pytest.approx(0.5)
+        assert result.avg_utilization.mem == pytest.approx(0.5)
+
+    def test_copies_counted(self, small_cluster):
+        job = make_chain_job(1, 5, theta=2.0)
+        engine, _ = run(small_cluster, [job])
+        assert engine.copies_launched == 5
+        assert engine.clones_launched == 0
+
+    def test_schedule_overhead_recorded(self, small_cluster):
+        job = make_single_task_job(theta=1.0)
+        engine, result = run(small_cluster, [job])
+        assert len(result.schedule_pass_seconds) >= 1
+        assert all(s >= 0 for s in result.schedule_pass_seconds)
+
+    def test_determinism_same_seed(self):
+        def go():
+            cluster = homogeneous_cluster(2, Resources.of(4, 4))
+            jobs = [
+                make_chain_job(2, 3, theta=10.0, sigma=5.0, job_id=k, arrival_time=k)
+                for k in range(3)
+            ]
+            _, result = run(cluster, jobs, seed=7)
+            return [r.finish_time for r in result.records]
+
+        assert go() == go()
+
+    def test_different_seed_different_outcome(self):
+        def go(seed):
+            cluster = homogeneous_cluster(2, Resources.of(4, 4))
+            jobs = [make_chain_job(1, 4, theta=10.0, sigma=6.0, job_id=0)]
+            _, result = run(cluster, jobs, seed=seed)
+            return result.records[0].finish_time
+
+        assert go(1) != go(2)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import (
+    SCHEDULER_FACTORIES,
+    main,
+    make_app_jobs,
+    make_cluster,
+    make_scheduler,
+)
+
+
+class TestFactories:
+    def test_every_scheduler_name_constructs(self):
+        for name in SCHEDULER_FACTORIES:
+            sched = make_scheduler(name)
+            assert hasattr(sched, "schedule")
+
+    def test_unknown_scheduler_exits(self):
+        with pytest.raises(SystemExit):
+            make_scheduler("nonsense")
+
+    def test_cluster_specs(self):
+        assert len(make_cluster("paper", 0)) == 30
+        assert len(make_cluster("trace:50", 0)) == 50
+        c = make_cluster("uniform:4x8x16", 0)
+        assert len(c) == 4 and c[0].capacity.cpu == 8
+
+    def test_bad_cluster_exits(self):
+        with pytest.raises(SystemExit):
+            make_cluster("weird", 0)
+
+    def test_app_jobs(self):
+        jobs = make_app_jobs("mixed", 4, 10.0, 2.0)
+        assert len(jobs) == 4
+        assert jobs[1].arrival_time == 10.0
+        with pytest.raises(SystemExit):
+            make_app_jobs("tensorflow", 1, 1.0, 1.0)
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(
+            ["run", "--scheduler", "dollymp2", "--app", "wordcount",
+             "--jobs", "3", "--gap", "100", "--input-gb", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total_flowtime" in out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--schedulers", "fifo,srpt", "--app", "wordcount",
+             "--jobs", "3", "--gap", "50", "--input-gb", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "srpt" in out
+
+    def test_trace_and_replay(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["trace", "--jobs", "10", "--out", str(trace)]) == 0
+        assert trace.exists()
+        rc = main(
+            ["replay", str(trace), "--scheduler", "tetris",
+             "--cluster", "trace:40", "--slot", "5"]
+        )
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_slotted_run(self, capsys):
+        rc = main(
+            ["run", "--scheduler", "capacity", "--app", "pagerank",
+             "--jobs", "2", "--gap", "100", "--input-gb", "0.5", "--slot", "5"]
+        )
+        assert rc == 0

@@ -1,0 +1,122 @@
+"""Unit tests for the Resources vector type."""
+
+import math
+
+import pytest
+
+from repro.resources import Resources, ZERO, sum_resources
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert Resources() == ZERO
+
+    def test_of_coerces_to_float(self):
+        r = Resources.of(4, 8)
+        assert isinstance(r.cpu, float) and isinstance(r.mem, float)
+        assert r.cpu == 4.0 and r.mem == 8.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Resources(float("nan"), 1.0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            Resources(1.0, math.inf)
+
+    def test_frozen(self):
+        r = Resources.of(1, 1)
+        with pytest.raises(AttributeError):
+            r.cpu = 2.0  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        assert Resources.of(1, 2) == Resources.of(1, 2)
+        assert hash(Resources.of(1, 2)) == hash(Resources.of(1, 2))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Resources.of(1, 2) + Resources.of(3, 4) == Resources.of(4, 6)
+
+    def test_sub(self):
+        assert Resources.of(3, 4) - Resources.of(1, 2) == Resources.of(2, 2)
+
+    def test_mul_scalar_both_sides(self):
+        assert Resources.of(1, 2) * 3 == Resources.of(3, 6)
+        assert 3 * Resources.of(1, 2) == Resources.of(3, 6)
+
+    def test_div(self):
+        assert Resources.of(4, 8) / 2 == Resources.of(2, 4)
+
+    def test_neg(self):
+        assert -Resources.of(1, -2) == Resources.of(-1, 2)
+
+    def test_iter_unpacks(self):
+        cpu, mem = Resources.of(5, 7)
+        assert (cpu, mem) == (5.0, 7.0)
+
+
+class TestPacking:
+    def test_fits_in_exact(self):
+        assert Resources.of(8, 16).fits_in(Resources.of(8, 16))
+
+    def test_fits_in_strict(self):
+        assert Resources.of(4, 8).fits_in(Resources.of(8, 16))
+
+    def test_does_not_fit_cpu(self):
+        assert not Resources.of(9, 8).fits_in(Resources.of(8, 16))
+
+    def test_does_not_fit_mem(self):
+        assert not Resources.of(4, 17).fits_in(Resources.of(8, 16))
+
+    def test_fits_tolerates_float_noise(self):
+        # Sum of ten 0.1s is slightly above 1.0 in binary floating point.
+        acc = ZERO
+        for _ in range(10):
+            acc = acc + Resources.of(0.1, 0.1)
+        assert acc.fits_in(Resources.of(1.0, 1.0))
+
+    def test_clamp_nonnegative(self):
+        r = Resources.of(-1e-15, 2.0).clamp_nonnegative()
+        assert r.cpu == 0.0 and r.mem == 2.0
+
+    def test_is_zero(self):
+        assert ZERO.is_zero()
+        assert not Resources.of(0.1, 0).is_zero()
+
+
+class TestScores:
+    def test_dot(self):
+        assert Resources.of(1, 2).dot(Resources.of(3, 4)) == 11.0
+
+    def test_dominant_share_cpu_dominates(self):
+        d = Resources.of(8, 8).dominant_share(Resources.of(16, 64))
+        assert d == pytest.approx(0.5)
+
+    def test_dominant_share_mem_dominates(self):
+        d = Resources.of(1, 32).dominant_share(Resources.of(16, 64))
+        assert d == pytest.approx(0.5)
+
+    def test_dominant_share_zero_total_dimension_ignored(self):
+        d = Resources.of(2, 5).dominant_share(Resources.of(4, 0))
+        assert d == pytest.approx(0.5)
+
+    def test_dominant_share_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            Resources.of(1, 1).dominant_share(ZERO)
+
+    def test_normalized_by(self):
+        n = Resources.of(8, 32).normalized_by(Resources.of(16, 64))
+        assert n == Resources.of(0.5, 0.5)
+
+    def test_max_component(self):
+        assert Resources.of(3, 7).max_component() == 7.0
+
+
+class TestSum:
+    def test_sum_empty(self):
+        assert sum_resources([]) == ZERO
+
+    def test_sum_many(self):
+        rs = [Resources.of(i, 2 * i) for i in range(5)]
+        assert sum_resources(rs) == Resources.of(10, 20)

@@ -1,0 +1,173 @@
+"""Unit tests for execution-time distributions (Eq. 2 and friends)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    Deterministic,
+    EmpiricalDistribution,
+    LogNormal,
+    ParetoType1,
+    ShiftedExponential,
+    ExecutionTimeDistribution,
+)
+
+
+class TestDeterministic:
+    def test_moments(self):
+        d = Deterministic(5.0)
+        assert d.mean == 5.0 and d.std == 0.0
+
+    def test_sampling_is_constant(self, rng):
+        d = Deterministic(5.0)
+        assert d.sample(rng) == 5.0
+        assert np.all(d.sample_many(rng, 10) == 5.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Deterministic(0.0)
+
+
+class TestParetoType1:
+    def test_mean_formula(self):
+        p = ParetoType1(x_m=2.0, alpha=3.0)
+        assert p.mean == pytest.approx(3.0)  # α x_m/(α−1) = 3·2/2
+
+    def test_std_formula(self):
+        p = ParetoType1(x_m=1.0, alpha=3.0)
+        # var = α x_m²/((α−1)²(α−2)) = 3/4 → std = sqrt(3)/2
+        assert p.std == pytest.approx(math.sqrt(3) / 2)
+
+    def test_infinite_std_for_small_alpha(self):
+        assert ParetoType1(1.0, 1.5).std == math.inf
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            ParetoType1(1.0, 1.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            ParetoType1(0.0, 2.0)
+
+    def test_survival_eq2(self):
+        p = ParetoType1(x_m=2.0, alpha=2.0)
+        assert p.survival(1.0) == 1.0  # below x_m
+        assert p.survival(4.0) == pytest.approx(0.25)
+
+    def test_samples_at_least_x_m(self, rng):
+        p = ParetoType1(x_m=3.0, alpha=2.5)
+        s = p.sample_many(rng, 10_000)
+        assert np.all(s >= 3.0)
+
+    def test_sample_mean_converges(self, rng):
+        p = ParetoType1(x_m=1.0, alpha=4.0)
+        s = p.sample_many(rng, 200_000)
+        assert s.mean() == pytest.approx(p.mean, rel=0.02)
+
+    def test_min_of_multiplies_alpha(self):
+        p = ParetoType1(1.0, 2.0)
+        m = p.min_of(3)
+        assert m.alpha == 6.0 and m.x_m == 1.0
+
+    def test_min_of_matches_empirical_minimum(self, rng):
+        p = ParetoType1(1.0, 2.5)
+        r = 3
+        draws = p.sample_many(rng, 3 * 100_000).reshape(-1, r).min(axis=1)
+        assert draws.mean() == pytest.approx(p.min_of(r).mean, rel=0.02)
+
+    def test_from_moments_roundtrip(self):
+        fitted = ParetoType1.from_moments(10.0, 4.0)
+        assert fitted.mean == pytest.approx(10.0)
+        assert fitted.std == pytest.approx(4.0)
+
+    def test_from_moments_always_finite_variance(self):
+        # Even huge cv yields α > 2.
+        fitted = ParetoType1.from_moments(1.0, 100.0)
+        assert fitted.alpha > 2.0
+
+    def test_from_moments_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            ParetoType1.from_moments(1.0, 0.0)
+
+
+class TestLogNormal:
+    def test_from_moments_roundtrip(self):
+        d = LogNormal.from_moments(20.0, 10.0)
+        assert d.mean == pytest.approx(20.0)
+        assert d.std == pytest.approx(10.0)
+
+    def test_sample_positive(self, rng):
+        d = LogNormal.from_moments(5.0, 2.0)
+        assert np.all(d.sample_many(rng, 1000) > 0)
+
+    def test_sample_mean_converges(self, rng):
+        d = LogNormal.from_moments(5.0, 2.0)
+        s = d.sample_many(rng, 100_000)
+        assert s.mean() == pytest.approx(5.0, rel=0.02)
+
+
+class TestShiftedExponential:
+    def test_moments(self):
+        d = ShiftedExponential(shift=2.0, rate=0.5)
+        assert d.mean == pytest.approx(4.0)
+        assert d.std == pytest.approx(2.0)
+
+    def test_samples_above_shift(self, rng):
+        d = ShiftedExponential(shift=2.0, rate=1.0)
+        assert np.all(d.sample_many(rng, 1000) >= 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ShiftedExponential(1.0, 0.0)
+
+
+class TestEmpirical:
+    def test_moments(self):
+        d = EmpiricalDistribution([1.0, 2.0, 3.0])
+        assert d.mean == pytest.approx(2.0)
+        assert d.std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_samples_from_support(self, rng):
+        d = EmpiricalDistribution([1.0, 5.0, 9.0])
+        s = d.sample_many(rng, 500)
+        assert set(np.unique(s)) <= {1.0, 5.0, 9.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, 0.0])
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Deterministic(1.0),
+            ParetoType1(1.0, 3.0),
+            LogNormal.from_moments(2.0, 1.0),
+            ShiftedExponential(1.0, 1.0),
+            EmpiricalDistribution([1.0, 2.0]),
+        ],
+    )
+    def test_all_satisfy_protocol(self, dist):
+        assert isinstance(dist, ExecutionTimeDistribution)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ParetoType1(1.0, 3.0),
+            LogNormal.from_moments(2.0, 1.0),
+            ShiftedExponential(1.0, 1.0),
+        ],
+    )
+    def test_sampling_deterministic_under_seed(self, dist):
+        a = dist.sample_many(np.random.default_rng(7), 10)
+        b = dist.sample_many(np.random.default_rng(7), 10)
+        assert np.array_equal(a, b)

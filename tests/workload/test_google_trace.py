@@ -1,0 +1,119 @@
+"""Unit tests for the synthetic Google trace generator and trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.workload.google_trace import (
+    GoogleTraceGenerator,
+    PhaseSpec,
+    TraceJobSpec,
+    jobs_from_specs,
+    load_trace,
+    save_trace,
+)
+
+
+class TestSpecs:
+    def test_phase_spec_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(num_tasks=0, cpu=1, mem=1, theta=1.0, sigma=0.0)
+        with pytest.raises(ValueError):
+            PhaseSpec(num_tasks=1, cpu=1, mem=1, theta=0.0, sigma=0.0)
+        with pytest.raises(ValueError):
+            PhaseSpec(num_tasks=1, cpu=1, mem=1, theta=1.0, sigma=-1.0)
+
+    def test_job_spec_task_count(self):
+        spec = TraceJobSpec(
+            name="j",
+            arrival_time=0.0,
+            phases=(
+                PhaseSpec(num_tasks=3, cpu=1, mem=1, theta=1.0, sigma=0.0),
+                PhaseSpec(num_tasks=2, cpu=1, mem=1, theta=1.0, sigma=0.0, parents=(0,)),
+            ),
+        )
+        assert spec.num_tasks() == 5
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        a = GoogleTraceGenerator(seed=5).generate(20)
+        b = GoogleTraceGenerator(seed=5).generate(20)
+        assert a == b
+
+    def test_seed_matters(self):
+        a = GoogleTraceGenerator(seed=5).generate(20)
+        b = GoogleTraceGenerator(seed=6).generate(20)
+        assert a != b
+
+    def test_arrivals_monotone(self):
+        specs = GoogleTraceGenerator(seed=0).generate(50, mean_interarrival=10.0)
+        times = [s.arrival_time for s in specs]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
+    def test_mostly_small_jobs(self):
+        """95% of jobs are small (the trace statistic from Sec. 1)."""
+        specs = GoogleTraceGenerator(seed=1).generate(500)
+        sizes = np.array([s.num_tasks() for s in specs])
+        assert np.quantile(sizes, 0.90) <= 500
+        assert sizes.max() > np.median(sizes) * 10  # heavy tail exists
+
+    def test_straggler_phase_fraction(self):
+        """~70% of phases should be straggler-prone (cv = straggler_cv)."""
+        gen = GoogleTraceGenerator(seed=2, straggler_phase_fraction=0.7)
+        specs = gen.generate(400)
+        phases = [p for s in specs for p in s.phases]
+        straggly = sum(1 for p in phases if p.sigma / p.theta > 0.5)
+        frac = straggly / len(phases)
+        assert 0.6 < frac < 0.8
+
+    def test_zero_fraction_means_no_stragglers(self):
+        gen = GoogleTraceGenerator(seed=2, straggler_phase_fraction=0.0, normal_cv=0.1)
+        specs = gen.generate(100)
+        assert all(p.sigma / p.theta < 0.2 for s in specs for p in s.phases)
+
+    def test_phase_chains_valid(self):
+        specs = GoogleTraceGenerator(seed=3).generate(200)
+        for s in specs:
+            for k, p in enumerate(s.phases):
+                assert all(q < k for q in p.parents)
+
+    def test_num_jobs_zero(self):
+        assert GoogleTraceGenerator(seed=0).generate(0) == []
+
+
+class TestMaterialization:
+    def test_jobs_match_specs(self):
+        specs = GoogleTraceGenerator(seed=4).generate(30)
+        jobs = jobs_from_specs(specs)
+        assert len(jobs) == 30
+        for spec, job in zip(specs, jobs):
+            assert job.arrival_time == spec.arrival_time
+            assert job.num_tasks == spec.num_tasks()
+            for ps, phase in zip(spec.phases, job.phases):
+                assert phase.theta == pytest.approx(ps.theta, rel=1e-9)
+                assert phase.sigma == pytest.approx(ps.sigma, rel=1e-9)
+
+    def test_deterministic_phase_when_sigma_zero(self):
+        spec = TraceJobSpec(
+            name="d",
+            arrival_time=0.0,
+            phases=(PhaseSpec(num_tasks=1, cpu=1, mem=1, theta=5.0, sigma=0.0),),
+        )
+        (job,) = jobs_from_specs([spec])
+        assert job.phases[0].sigma == 0.0
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        specs = GoogleTraceGenerator(seed=7).generate(25)
+        path = tmp_path / "trace.json"
+        save_trace(specs, path)
+        loaded = load_trace(path)
+        assert loaded == specs
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else", "jobs": []}')
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,71 @@
+"""Unit tests for the WordCount / PageRank job builders."""
+
+import pytest
+
+from repro.workload.mapreduce import mapreduce_job, pagerank_job, wordcount_job
+
+
+class TestWordCount:
+    def test_two_phase_structure(self):
+        job = wordcount_job(4.0)
+        assert job.num_phases == 2
+        assert job.phases[0].name == "map"
+        assert job.phases[1].name == "reduce"
+        assert job.phases[1].parents == (0,)
+
+    def test_map_tasks_scale_with_input(self):
+        small = wordcount_job(1.0)
+        big = wordcount_job(10.0)
+        assert big.phases[0].num_tasks > small.phases[0].num_tasks
+        # 128 MB blocks: 4 GB → 32 map tasks (paper's Fig. 1 job).
+        assert wordcount_job(4.0).phases[0].num_tasks == 32
+
+    def test_reduce_fraction(self):
+        job = wordcount_job(4.0, reduce_fraction=0.25)
+        assert job.phases[1].num_tasks == 8
+
+    def test_stochastic_durations(self):
+        job = wordcount_job(4.0, cv=0.5)
+        assert job.phases[0].sigma == pytest.approx(0.5 * job.phases[0].theta)
+
+    def test_rejects_nonpositive_input(self):
+        with pytest.raises(ValueError):
+            wordcount_job(0.0)
+
+    def test_name_and_arrival(self):
+        job = wordcount_job(10.0, arrival_time=42.0)
+        assert job.arrival_time == 42.0
+        assert "wordcount" in job.name
+
+
+class TestPageRank:
+    def test_iteration_chain(self):
+        job = pagerank_job(1.0, iterations=3)
+        assert job.num_phases == 6  # map+reduce per iteration
+        for k in range(1, 6):
+            assert job.phases[k].parents == (k - 1,)
+
+    def test_input_size_variants(self):
+        small = pagerank_job(1.0)
+        big = pagerank_job(10.0)
+        assert big.num_tasks > small.num_tasks
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            pagerank_job(1.0, iterations=0)
+
+    def test_rejects_nonpositive_input(self):
+        with pytest.raises(ValueError):
+            pagerank_job(-1.0)
+
+
+class TestGenericBuilder:
+    def test_mapreduce_job_basic(self):
+        job = mapreduce_job(num_map=10, num_reduce=2, map_theta=5.0, reduce_theta=3.0)
+        assert job.phases[0].num_tasks == 10
+        assert job.phases[1].num_tasks == 2
+        assert job.phases[0].theta == pytest.approx(5.0)
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            mapreduce_job(num_map=0, num_reduce=1, map_theta=1.0, reduce_theta=1.0)

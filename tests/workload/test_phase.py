@@ -1,0 +1,91 @@
+"""Unit tests for phases (θ, σ, effective time, progress tracking)."""
+
+import pytest
+
+from repro.resources import Resources
+from repro.workload.distributions import Deterministic, ParetoType1
+from repro.workload.phase import Phase
+from repro.workload.speedup import NoSpeedup, ParetoSpeedup
+from repro.workload.job import Job
+from repro.workload.task import TaskCopy, TaskState
+
+
+def make_phase(num_tasks=3, theta=10.0, sigma=0.0):
+    dist = ParetoType1.from_moments(theta, sigma) if sigma > 0 else Deterministic(theta)
+    p = Phase(0, num_tasks, Resources.of(1, 2), dist)
+    Job([p])
+    return p
+
+
+class TestConstruction:
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            Phase(0, 0, Resources.of(1, 1), Deterministic(1.0))
+
+    def test_rejects_zero_demand(self):
+        with pytest.raises(ValueError):
+            Phase(0, 1, Resources.of(0, 0), Deterministic(1.0))
+
+    def test_rejects_forward_parents(self):
+        with pytest.raises(ValueError):
+            Phase(1, 1, Resources.of(1, 1), Deterministic(1.0), parents=(1,))
+
+    def test_parents_sorted_and_deduped(self):
+        p = Phase(3, 1, Resources.of(1, 1), Deterministic(1.0), parents=(2, 0, 2))
+        assert p.parents == (0, 2)
+
+    def test_default_name(self):
+        assert make_phase().name == "phase0"
+
+
+class TestStatistics:
+    def test_theta_sigma_from_distribution(self):
+        p = make_phase(theta=20.0, sigma=8.0)
+        assert p.theta == pytest.approx(20.0)
+        assert p.sigma == pytest.approx(8.0)
+
+    def test_effective_time(self):
+        p = make_phase(theta=20.0, sigma=8.0)
+        assert p.effective_time(1.5) == pytest.approx(20.0 + 1.5 * 8.0)
+
+    def test_effective_time_deterministic_equals_theta(self):
+        p = make_phase(theta=20.0)
+        assert p.effective_time(1.5) == 20.0
+
+    def test_default_speedup_pareto_for_stochastic(self):
+        p = make_phase(theta=10.0, sigma=4.0)
+        assert isinstance(p.speedup, ParetoSpeedup)
+
+    def test_default_speedup_none_for_deterministic(self):
+        p = make_phase(theta=10.0)
+        assert isinstance(p.speedup, NoSpeedup)
+
+    def test_explicit_speedup_kept(self):
+        h = ParetoSpeedup(2.0)
+        p = Phase(0, 1, Resources.of(1, 1), Deterministic(1.0), speedup=h)
+        assert p.speedup is h
+
+
+class TestProgress:
+    def test_initial(self):
+        p = make_phase(3)
+        assert p.num_unfinished == 3
+        assert not p.is_finished
+        assert p.finish_time() is None
+        assert len(p.pending_tasks()) == 3
+
+    def test_running_partition(self):
+        p = make_phase(3)
+        t = p.tasks[0]
+        t.add_copy(TaskCopy(t, 0, 0.0, 5.0, is_clone=False))
+        assert p.running_tasks() == [t]
+        assert len(p.pending_tasks()) == 2
+
+    def test_finish_tracking(self):
+        p = make_phase(2)
+        p.tasks[0].complete(3.0)
+        assert p.num_unfinished == 1
+        p.tasks[1].complete(7.0)
+        assert p.is_finished
+        assert p.finish_time() == 7.0  # λ = max over tasks
+        assert all(t.state is TaskState.FINISHED for t in p.tasks)

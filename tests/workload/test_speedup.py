@@ -1,0 +1,115 @@
+"""Unit tests for the speedup functions (Eqs. 1, 3 and Cor. 4.1 helper)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import ParetoType1
+from repro.workload.speedup import (
+    NoSpeedup,
+    ParetoSpeedup,
+    TabulatedSpeedup,
+    required_clones,
+)
+
+
+class TestParetoSpeedup:
+    def test_h_of_one_is_one(self):
+        assert ParetoSpeedup(2.0)(1) == pytest.approx(1.0)
+
+    def test_eq3_value(self):
+        # h(x) = 1 + (1 - 1/x)/(α-1); α=3, x=2 → 1 + 0.5/2 = 1.25
+        assert ParetoSpeedup(3.0)(2) == pytest.approx(1.25)
+
+    def test_strictly_increasing(self):
+        h = ParetoSpeedup(2.5)
+        values = [h(r) for r in range(1, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_concave_on_integers(self):
+        h = ParetoSpeedup(2.5)
+        diffs = [h(r + 1) - h(r) for r in range(1, 10)]
+        assert all(d2 < d1 for d1, d2 in zip(diffs, diffs[1:]))
+
+    def test_bounded_by_R(self):
+        h = ParetoSpeedup(3.0)
+        assert h.bound == pytest.approx(1.5)  # α/(α−1)
+        assert h(10_000) < h.bound
+
+    def test_rejects_copies_below_one(self):
+        with pytest.raises(ValueError):
+            ParetoSpeedup(2.0)(0)
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            ParetoSpeedup(1.0)
+
+    def test_from_moments_matches_distribution_fit(self):
+        dist = ParetoType1.from_moments(10.0, 5.0)
+        h = ParetoSpeedup.from_moments(10.0, 5.0)
+        assert h.alpha == pytest.approx(dist.alpha)
+
+    def test_consistent_with_min_of_pareto(self, rng):
+        """Eq. 1: E[Θ(r)] ≈ θ/h(r) under the true Pareto minimum.
+
+        The identity min of r Paretos(α) ~ Pareto(rα) gives
+        E[min] = rα·x_m/(rα−1); check h matches that ratio.
+        """
+        alpha, r = 3.0, 4
+        p = ParetoType1(1.0, alpha)
+        h = ParetoSpeedup(alpha)
+        expected_ratio = p.mean / p.min_of(r).mean
+        assert h(r) == pytest.approx(expected_ratio)
+
+
+class TestNoSpeedup:
+    def test_always_one(self):
+        h = NoSpeedup()
+        assert h(1) == h(5) == 1.0
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            NoSpeedup()(0.5)
+
+
+class TestTabulatedSpeedup:
+    def test_exact_at_integers(self):
+        h = TabulatedSpeedup([1.0, 1.4, 1.6])
+        assert h(1) == 1.0 and h(2) == 1.4 and h(3) == 1.6
+
+    def test_interpolates(self):
+        h = TabulatedSpeedup([1.0, 2.0])
+        assert h(1.5) == pytest.approx(1.5)
+
+    def test_saturates_beyond_table(self):
+        h = TabulatedSpeedup([1.0, 1.5])
+        assert h(10) == 1.5
+
+    def test_h1_must_be_one(self):
+        with pytest.raises(ValueError):
+            TabulatedSpeedup([1.1])
+
+    def test_must_be_nondecreasing(self):
+        with pytest.raises(ValueError):
+            TabulatedSpeedup([1.0, 1.5, 1.2])
+
+
+class TestRequiredClones:
+    def test_no_clone_needed_when_deadline_loose(self):
+        h = ParetoSpeedup(2.0)
+        assert required_clones(10.0, 20.0, h) == 1
+
+    def test_clones_needed_for_tight_deadline(self):
+        h = ParetoSpeedup(2.0)  # h(2) = 1.5
+        # θ=15, deadline=10: need h(r) ≥ 1.5 → r = 2.
+        assert required_clones(15.0, 10.0, h) == 2
+
+    def test_unreachable_returns_none(self):
+        h = ParetoSpeedup(3.0)  # bound 1.5
+        assert required_clones(20.0, 10.0, h) is None
+
+    def test_validation(self):
+        h = NoSpeedup()
+        with pytest.raises(ValueError):
+            required_clones(0.0, 1.0, h)
+        with pytest.raises(ValueError):
+            required_clones(1.0, 0.0, h)
