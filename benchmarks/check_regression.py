@@ -1,0 +1,114 @@
+"""Performance regression gate for the scheduling hot path.
+
+Re-measures the two overhead benchmarks (priority recompute at 1K jobs /
+30K servers; one full DollyMP schedule pass on the 30-node testbed)
+and compares against the means recorded in ``benchmarks/results/`` by
+the last ``pytest benchmarks/test_overhead.py`` run.  Fails (exit 1) if
+either measurement regressed by more than 2x — generous enough to ride
+out machine noise, tight enough to catch an accidentally de-vectorized
+hot path.
+
+Run it as::
+
+    python -m benchmarks.check_regression
+
+Regenerate the recorded baselines with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_overhead.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes, trace_sim_cluster
+from repro.core.online import DollyMPScheduler
+from repro.core.transient import compute_priorities
+from repro.core.volume import measure_job
+from repro.sim.engine import SimulationEngine
+from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
+
+from benchmarks.conftest import RESULTS_DIR, SEED
+
+#: Fail when a fresh mean exceeds recorded mean by more than this factor.
+MAX_SLOWDOWN = 2.0
+
+_MEAN_RE = re.compile(r"mean ([0-9.]+) ms")
+
+
+def recorded_mean_ms(figure: str) -> float | None:
+    """Recorded mean from ``benchmarks/results/<figure>.txt`` (ms)."""
+    path = RESULTS_DIR / f"{figure}.txt"
+    if not path.exists():
+        return None
+    match = _MEAN_RE.search(path.read_text())
+    return float(match.group(1)) if match else None
+
+
+def measure_priorities_ms(rounds: int = 5) -> float:
+    """Same protocol as ``test_priority_recompute_1k_jobs_30k_machines``."""
+    total = trace_sim_cluster(30_000, seed=SEED).total_capacity
+    jobs = jobs_from_specs(
+        GoogleTraceGenerator(seed=SEED).generate(1_000, mean_interarrival=0.0)
+    )
+    measures = [measure_job(j, total, r=1.5) for j in jobs]
+    compute_priorities(measures)  # warmup
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        compute_priorities(measures)
+        times.append(time.perf_counter() - t0)
+    return 1e3 * sum(times) / rounds
+
+
+def measure_schedule_pass_ms(rounds: int = 3) -> float:
+    """Same protocol as ``test_schedule_pass_on_testbed`` (pedantic
+    rounds on one stateful engine: first pass fills the cluster, later
+    passes are the steady-state clone-only regime)."""
+    jobs = jobs_from_specs(
+        GoogleTraceGenerator(seed=SEED, mean_theta=60.0).generate(
+            40, mean_interarrival=0.0
+        )
+    )
+    sched = DollyMPScheduler(max_clones=2)
+    engine = SimulationEngine(
+        paper_cluster_30_nodes(), sched, jobs, seed=SEED, max_time=1e9
+    )
+    for job in engine.jobs:
+        engine.active_jobs[job.job_id] = job
+    sched.recompute_priorities(engine.view)
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        sched.schedule(engine.view)
+        times.append(time.perf_counter() - t0)
+    return 1e3 * sum(times) / rounds
+
+
+def main() -> int:
+    checks = [
+        ("overhead_priorities", measure_priorities_ms),
+        ("overhead_schedule_pass", measure_schedule_pass_ms),
+    ]
+    failed = False
+    for figure, measure in checks:
+        recorded = recorded_mean_ms(figure)
+        if recorded is None:
+            print(f"{figure}: no recorded baseline — run the overhead bench first")
+            continue
+        fresh = measure()
+        ratio = fresh / recorded
+        verdict = "OK" if ratio <= MAX_SLOWDOWN else "REGRESSION"
+        print(
+            f"{figure}: recorded {recorded:.2f} ms, fresh {fresh:.2f} ms "
+            f"({ratio:.2f}x) — {verdict}"
+        )
+        if ratio > MAX_SLOWDOWN:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

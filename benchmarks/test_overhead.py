@@ -13,6 +13,9 @@ separately assert the paper's 50 ms budget.  We also time one full
 schedule pass on the 30-node cluster against the 20 ms claim.
 """
 
+import json
+import time
+
 import numpy as np
 import pytest
 
@@ -20,10 +23,12 @@ from repro.cluster.heterogeneity import paper_cluster_30_nodes, trace_sim_cluste
 from repro.core.online import DollyMPScheduler
 from repro.core.transient import compute_priorities
 from repro.core.volume import measure_job
+from repro.resources import Resources
+from repro.schedulers.packing import fill_tasks_best_fit, pending_by_phase
 from repro.sim.engine import SimulationEngine
 from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
 
-from benchmarks.conftest import SEED, save_figure_text
+from benchmarks.conftest import RESULTS_DIR, SEED, save_figure_text
 
 
 @pytest.fixture(scope="module")
@@ -75,3 +80,89 @@ def test_schedule_pass_on_testbed(benchmark):
     # the paper's budget refers to steady-state decisions, so allow 40 ms
     # at bench variance.
     assert benchmark.stats["mean"] < 0.20
+
+
+# ----------------------------------------------------------------------
+# Vectorized placement engine: scalar vs NumPy kernels at 30K servers
+# ----------------------------------------------------------------------
+def _time_best_fit(cluster, demands, repeats):
+    """(ops/s, chosen server ids) for repeated best-fit queries."""
+    ids = []
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        ids = [
+            s.server_id if (s := cluster.best_fit_server(d)) is not None else -1
+            for d in demands
+        ]
+    elapsed = time.perf_counter() - t0
+    return repeats * len(demands) / elapsed, ids
+
+
+def _time_fill_pass(vectorized):
+    """(seconds, launches) for one batched fill of a 30K-server cluster.
+
+    Fresh engine per call (placement mutates cluster and task state);
+    only the fill itself is timed.
+    """
+    cluster = trace_sim_cluster(30_000, seed=SEED)
+    cluster.vectorized = vectorized
+    gen = GoogleTraceGenerator(seed=SEED, mean_theta=60.0)
+    jobs = jobs_from_specs(gen.generate(30, mean_interarrival=0.0))
+    engine = SimulationEngine(
+        cluster, DollyMPScheduler(max_clones=0), jobs, seed=SEED, max_time=1e9
+    )
+    for job in engine.jobs:
+        engine.active_jobs[job.job_id] = job
+    pairs = []
+    for job in jobs:
+        pairs.extend(pending_by_phase(job))
+    t0 = time.perf_counter()
+    launched = fill_tasks_best_fit(engine.view, pairs)
+    elapsed = time.perf_counter() - t0
+    return elapsed, launched
+
+
+def test_placement_kernels_30k_servers():
+    """Sec. 6.3.3 scale: the per-query placement kernels on 30 000
+    servers, scalar reference vs the vectorized mirror.  Results go to
+    ``BENCH_placement.json`` (machine-readable ops/s, before → after)
+    and the vectorized ``best_fit_server`` must be >= 10x the scalar
+    loop while choosing the *identical* servers."""
+    cluster = trace_sim_cluster(30_000, seed=SEED)
+    demands = [
+        Resources.of(1.0 + (k % 7), 2.0 * (1 + k % 5)) for k in range(10)
+    ]
+
+    cluster.vectorized = False
+    scalar_ops, scalar_ids = _time_best_fit(cluster, demands, repeats=3)
+    cluster.vectorized = True
+    vector_ops, vector_ids = _time_best_fit(cluster, demands, repeats=100)
+
+    assert vector_ids == scalar_ids  # identical placements, not just fast
+    best_fit_speedup = vector_ops / scalar_ops
+
+    scalar_fill_s, scalar_launched = _time_fill_pass(vectorized=False)
+    vector_fill_s, vector_launched = _time_fill_pass(vectorized=True)
+    assert vector_launched == scalar_launched
+
+    payload = {
+        "cluster_servers": 30_000,
+        "best_fit_server": {
+            "queries": len(demands),
+            "scalar_ops_per_s": round(scalar_ops, 1),
+            "vectorized_ops_per_s": round(vector_ops, 1),
+            "speedup": round(best_fit_speedup, 1),
+        },
+        "fill_tasks_best_fit": {
+            "queued_jobs": 30,
+            "copies_launched": vector_launched,
+            "scalar_ms": round(scalar_fill_s * 1e3, 2),
+            "vectorized_ms": round(vector_fill_s * 1e3, 2),
+            "speedup": round(scalar_fill_s / vector_fill_s, 1),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_placement.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert best_fit_speedup >= 10.0

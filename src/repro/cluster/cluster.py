@@ -4,23 +4,51 @@ Provides the aggregate quantities the schedulers need — total capacity
 (the denominators of the dominant-share Eqs. 9/15), availability scans,
 and utilization summaries — while each :class:`~repro.cluster.server.Server`
 owns its own allocation bookkeeping.
+
+Placement scans run on a structure-of-arrays NumPy mirror of per-server
+availability (:class:`~repro.cluster.mirror.AvailabilityMirror`),
+updated incrementally on every allocate/release, so ``best_fit_server``,
+``servers_fitting`` and ``any_fits`` are masked reductions rather than
+Python loops.  The original per-server loops are kept as a scalar
+reference path, selected with ``Cluster(vectorized=False)`` or the
+``REPRO_SCALAR_PLACEMENT=1`` environment variable; both paths produce
+identical placements (see DESIGN.md §"Placement engine").
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Sequence
 
+from repro.cluster.mirror import AvailabilityMirror
 from repro.cluster.server import Server
 from repro.cluster.topology import Topology
-from repro.resources import Resources, sum_resources
+from repro.resources import Resources
 
 __all__ = ["Cluster"]
 
 
-class Cluster:
-    """An indexed set of servers with cached aggregate capacity."""
+def _vectorized_default() -> bool:
+    """Vectorized unless REPRO_SCALAR_PLACEMENT selects the reference path."""
+    flag = os.environ.get("REPRO_SCALAR_PLACEMENT", "").strip().lower()
+    return flag in ("", "0", "false", "no")
 
-    def __init__(self, servers: Sequence[Server], topology: Topology | None = None) -> None:
+
+class Cluster:
+    """An indexed set of servers with cached aggregate capacity.
+
+    A server belongs to at most one cluster at a time: construction
+    points each server's mirror hook at this cluster's availability
+    arrays.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[Server],
+        topology: Topology | None = None,
+        *,
+        vectorized: bool | None = None,
+    ) -> None:
         if not servers:
             raise ValueError("a cluster needs at least one server")
         ids = [s.server_id for s in servers]
@@ -30,7 +58,17 @@ class Cluster:
         self.topology = topology if topology is not None else Topology.single_rack(len(servers))
         if len(self.topology) != len(self.servers):
             raise ValueError("topology size does not match server count")
-        self._total_capacity = sum_resources(s.capacity for s in self.servers)
+        self._total_capacity = Resources(
+            sum(s.capacity.cpu for s in self.servers),
+            sum(s.capacity.mem for s in self.servers),
+        )
+        #: Query-path selector.  The mirror is maintained either way, so
+        #: flipping this attribute at runtime is safe (the equivalence
+        #: benchmarks toggle it on a live cluster).
+        self.vectorized = vectorized if vectorized is not None else _vectorized_default()
+        self.mirror = AvailabilityMirror(self.servers)
+        for s in self.servers:
+            s._mirror = self.mirror
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -41,10 +79,10 @@ class Cluster:
         return self._total_capacity
 
     def total_allocated(self) -> Resources:
-        return sum_resources(s.allocated for s in self.servers)
+        return self.mirror.total_allocated()
 
     def total_available(self) -> Resources:
-        return sum_resources(s.available for s in self.servers)
+        return self.mirror.total_available()
 
     def utilization(self) -> Resources:
         return self.total_allocated().normalized_by(self._total_capacity)
@@ -63,17 +101,27 @@ class Cluster:
 
     def servers_fitting(self, demand: Resources) -> list[Server]:
         """Servers that can currently host ``demand`` (Eq. 5 check)."""
+        if self.vectorized:
+            return [self.servers[i] for i in self.mirror.fitting_ids(demand)]
         return [s for s in self.servers if s.can_fit(demand)]
 
     def any_fits(self, demand: Resources) -> bool:
+        if self.vectorized:
+            return self.mirror.any_fits(demand)
         return any(s.can_fit(demand) for s in self.servers)
 
     def best_fit_server(self, demand: Resources) -> Server | None:
         """The fitting server maximizing the demand·available alignment.
 
         This is Tetris' placement heuristic, also used by DollyMP for its
-        final placement step; ``None`` when no server fits.
+        final placement step; ``None`` when no server fits.  Equal scores
+        break to the **lowest server id** — the scalar loop's strict
+        ``>`` keeps the first maximum and the vectorized ``argmax``
+        returns the first maximal index, so both paths agree exactly.
         """
+        if self.vectorized:
+            hit = self.mirror.best_fit(demand)
+            return None if hit is None else self.servers[hit[0]]
         best: Server | None = None
         best_score = -1.0
         for s in self.servers:
@@ -81,7 +129,7 @@ class Cluster:
             if not demand.fits_in(avail):
                 continue
             score = demand.dot(avail)
-            if score > best_score:
+            if score > best_score:  # strict: ties keep the lowest id
                 best, best_score = s, score
         return best
 
@@ -93,10 +141,15 @@ class Cluster:
         return [s.available for s in self.servers]
 
     @staticmethod
-    def build(specs: Iterable[tuple[Resources, float]], topology: Topology | None = None) -> "Cluster":
+    def build(
+        specs: Iterable[tuple[Resources, float]],
+        topology: Topology | None = None,
+        *,
+        vectorized: bool | None = None,
+    ) -> "Cluster":
         """Build a cluster from ``(capacity, slowdown)`` specs."""
         servers = [
             Server(i, cap, slowdown=slow)
             for i, (cap, slow) in enumerate(specs)
         ]
-        return Cluster(servers, topology)
+        return Cluster(servers, topology, vectorized=vectorized)

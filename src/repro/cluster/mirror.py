@@ -1,0 +1,151 @@
+"""Structure-of-arrays NumPy mirror of per-server availability.
+
+The placement hot path — ``Cluster.best_fit_server`` and the batched
+fill loops in :mod:`repro.schedulers.packing` — scores a demand against
+every server's remaining capacity.  Doing that with a Python loop over
+:class:`~repro.cluster.server.Server` objects costs O(M) attribute
+lookups and method calls per query; at the paper's 30K-server scale
+(Sec. 6.3.3) that dominates the scheduling overhead.  The mirror keeps
+the same information as four flat ``float64`` arrays so every query
+becomes a handful of vectorized kernels.
+
+Data layout (all arrays indexed by ``server_id``):
+
+* ``avail_cpu`` / ``avail_mem`` — the server's current availability,
+  exactly the floats stored in ``Server._available``;
+* ``alloc_cpu`` / ``alloc_mem`` — the server's current allocation,
+  exactly the floats stored in ``Server._allocated``;
+* ``cap_cpu`` / ``cap_mem`` — immutable capacities.
+
+Invariants:
+
+* The arrays are updated *incrementally*: every ``Server.allocate`` /
+  ``Server.release`` pushes that one server's new values through
+  :meth:`AvailabilityMirror.update`, so the mirror always equals a fresh
+  per-server recompute (``tests/cluster/test_mirror_property.py`` checks
+  this after arbitrary allocate/kill/finish sequences).
+* Scores are computed with the same floating-point expression and
+  operation order as the scalar reference (``demand.cpu * avail.cpu +
+  demand.mem * avail.mem``, then an optional per-server weight), so the
+  vectorized and scalar paths produce bit-identical scores.
+* Ties break to the **lowest server id**: ``np.argmax`` returns the
+  first maximal index, matching the scalar loop's strict ``>`` update.
+* The feasibility mask evaluates ``avail + EPS >= demand`` — the exact
+  expression of :meth:`repro.resources.Resources.fits_in` (``demand <=
+  avail + EPS``) with identical rounding.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.resources import Resources
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.server import Server
+
+__all__ = ["AvailabilityMirror"]
+
+#: Same tolerance as Resources.fits_in (kept in sync via the test suite).
+_EPS = 1e-9
+
+
+class AvailabilityMirror:
+    """Incrementally-maintained SoA view of a cluster's availability."""
+
+    __slots__ = (
+        "avail_cpu",
+        "avail_mem",
+        "alloc_cpu",
+        "alloc_mem",
+        "cap_cpu",
+        "cap_mem",
+    )
+
+    def __init__(self, servers: Sequence["Server"]) -> None:
+        m = len(servers)
+        self.cap_cpu = np.fromiter((s.capacity.cpu for s in servers), np.float64, m)
+        self.cap_mem = np.fromiter((s.capacity.mem for s in servers), np.float64, m)
+        self.avail_cpu = np.empty(m, np.float64)
+        self.avail_mem = np.empty(m, np.float64)
+        self.alloc_cpu = np.empty(m, np.float64)
+        self.alloc_mem = np.empty(m, np.float64)
+        self.refresh(servers)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def refresh(self, servers: Sequence["Server"]) -> None:
+        """Rebuild every entry from the servers (O(M); used at
+        construction and as the reference point of the property tests)."""
+        for s in servers:
+            self.update(s)
+
+    def update(self, server: "Server") -> None:
+        """Push one server's availability/allocation into the arrays.
+
+        Called by ``Server.allocate``/``Server.release`` after every
+        bookkeeping change — O(1), four scalar stores.
+        """
+        i = server.server_id
+        avail = server.available
+        alloc = server.allocated
+        self.avail_cpu[i] = avail.cpu
+        self.avail_mem[i] = avail.mem
+        self.alloc_cpu[i] = alloc.cpu
+        self.alloc_mem[i] = alloc.mem
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def fitting_mask(self, demand: Resources) -> np.ndarray:
+        """Boolean mask of servers that can host ``demand`` (Eq. 5)."""
+        return (self.avail_cpu + _EPS >= demand.cpu) & (
+            self.avail_mem + _EPS >= demand.mem
+        )
+
+    def any_fits(self, demand: Resources) -> bool:
+        return bool(self.fitting_mask(demand).any())
+
+    def fitting_ids(self, demand: Resources) -> np.ndarray:
+        """Server ids able to host ``demand``, ascending."""
+        return np.flatnonzero(self.fitting_mask(demand))
+
+    def best_fit(
+        self, demand: Resources, weights: np.ndarray | None = None
+    ) -> tuple[int, float] | None:
+        """(server_id, score) maximizing the demand·availability inner
+        product among fitting servers, or ``None`` when nothing fits.
+
+        ``weights`` optionally scales each server's score (the
+        straggler-avoidance hook).  Equal scores resolve to the lowest
+        server id.
+        """
+        fits = self.fitting_mask(demand)
+        if not fits.any():
+            return None
+        scores = demand.cpu * self.avail_cpu + demand.mem * self.avail_mem
+        if weights is not None:
+            scores = scores * weights
+        scores[~fits] = -np.inf
+        idx = int(np.argmax(scores))
+        return idx, float(scores[idx])
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_available(self) -> Resources:
+        return Resources(float(self.avail_cpu.sum()), float(self.avail_mem.sum()))
+
+    def total_allocated(self) -> Resources:
+        return Resources(float(self.alloc_cpu.sum()), float(self.alloc_mem.sum()))
+
+    def total_allocated_components(self) -> tuple[float, float]:
+        """(cpu, mem) allocation totals without a Resources allocation —
+        the simulation engine's per-event accounting fast path."""
+        return float(self.alloc_cpu.sum()), float(self.alloc_mem.sum())
+
+    def __len__(self) -> int:
+        return len(self.cap_cpu)

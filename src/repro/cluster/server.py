@@ -32,6 +32,7 @@ class Server:
         "_allocated",
         "_available",
         "_running",
+        "_mirror",
     )
 
     def __init__(
@@ -57,6 +58,10 @@ class Server:
         # best-fit scan); keep it cached and update on allocate/release.
         self._available = capacity
         self._running: set["TaskCopy"] = set()
+        # Set by Cluster.__init__: the cluster's SoA availability mirror,
+        # notified after every allocate/release so vectorized placement
+        # scans stay exact.  A server belongs to at most one cluster.
+        self._mirror = None
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -85,20 +90,41 @@ class Server:
             )
         if copy in self._running:
             raise RuntimeError(f"server {self.server_id}: copy {copy} already running")
-        self._allocated = self._allocated + demand
-        self._available = (self.capacity - self._allocated).clamp_nonnegative()
+        # Unrolled `self._allocated + demand` / `(capacity - allocated)
+        # .clamp_nonnegative()`: same operations in the same order (so
+        # identical floats), minus the intermediate vectors — allocate
+        # runs once per launched copy, squarely on the hot path.
+        alloc = self._allocated
+        cap = self.capacity
+        a_cpu = alloc.cpu + demand.cpu
+        a_mem = alloc.mem + demand.mem
+        self._allocated = Resources(a_cpu, a_mem)
+        self._available = Resources(max(cap.cpu - a_cpu, 0.0), max(cap.mem - a_mem, 0.0))
         self._running.add(copy)
+        if self._mirror is not None:
+            self._mirror.update(self)
 
     def release(self, copy: "TaskCopy") -> None:
         """Free the resources held by a finished or killed copy."""
         if copy not in self._running:
             raise RuntimeError(f"server {self.server_id}: copy {copy} not running here")
         self._running.discard(copy)
-        self._allocated = (self._allocated - copy.task.demand).clamp_nonnegative()
+        demand = copy.task.demand
+        alloc = self._allocated
         if not self._running:
             # Snap accumulated float error back to exactly zero when idle.
             self._allocated = ZERO
-        self._available = (self.capacity - self._allocated).clamp_nonnegative()
+        else:
+            self._allocated = Resources(
+                max(alloc.cpu - demand.cpu, 0.0), max(alloc.mem - demand.mem, 0.0)
+            )
+        cap = self.capacity
+        self._available = Resources(
+            max(cap.cpu - self._allocated.cpu, 0.0),
+            max(cap.mem - self._allocated.mem, 0.0),
+        )
+        if self._mirror is not None:
+            self._mirror.update(self)
 
     def utilization(self) -> Resources:
         """Fraction of each dimension currently allocated."""

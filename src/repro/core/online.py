@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.core.cloning_policy import CloningPolicy
 from repro.core.transient import compute_priorities, priority_groups
-from repro.core.volume import DEFAULT_R, measure_job
+from repro.core.volume import DEFAULT_R, JobMeasure, measure_job
 from repro.schedulers.base import Scheduler
 from repro.schedulers.packing import (
     fill_clones_best_fit,
@@ -73,17 +73,45 @@ class DollyMPScheduler(Scheduler):
         )
         self.name = f"DollyMP^{max_clones}"
         self._priorities: dict[int, int] = {}
+        # Incremental measure cache: a job's (volume, length) pair only
+        # changes when one of its tasks finishes (task/phase volumes are
+        # fixed at submission), so each JobMeasure is computed once and
+        # invalidated by the on_task_finish/on_job_finish hooks instead
+        # of re-measuring every active job on every arrival.
+        self._measures: dict[int, JobMeasure] = {}
+        self._measure_capacity: object | None = None
 
     # ------------------------------------------------------------------
     # Priority maintenance
     # ------------------------------------------------------------------
     def recompute_priorities(self, view: "ClusterView") -> None:
         total = view.cluster.total_capacity
-        measures = [measure_job(j, total, r=self.r) for j in view.active_jobs]
+        if total != self._measure_capacity:
+            # Measures are relative to the cluster total (Eq. 15); a
+            # scheduler reused against a different cluster starts fresh.
+            self._measures.clear()
+            self._measure_capacity = total
+        cache = self._measures
+        measures = []
+        for j in view.active_jobs:
+            m = cache.get(j.job_id)
+            if m is None:
+                m = measure_job(j, total, r=self.r)
+                cache[j.job_id] = m
+            measures.append(m)
         self._priorities = compute_priorities(measures)
 
     def on_job_arrival(self, job: Job, view: "ClusterView") -> None:
         self.recompute_priorities(view)
+
+    def on_task_finish(self, task: Task, view: "ClusterView") -> None:
+        # Remaining volume/length shrank: re-measure this job at the
+        # next recompute.  Clone launches/kills never change them.
+        self._measures.pop(task.job.job_id, None)
+
+    def on_job_finish(self, job: Job, view: "ClusterView") -> None:
+        self._measures.pop(job.job_id, None)
+        self._priorities.pop(job.job_id, None)
 
     def priority_of(self, job: Job) -> int | None:
         return self._priorities.get(job.job_id)
@@ -126,9 +154,20 @@ class DollyMPScheduler(Scheduler):
             view.cluster, occupancy=view.clone_occupancy
         )
         state = {"remaining": budget}
+        # The budget only shrinks within a pass, so a demand it rejected
+        # once stays rejected — cache failures by demand key (tasks of a
+        # phase share one demand, making this very effective).
+        over_budget: set[tuple[float, float]] = set()
 
         def budget_check(t: Task) -> bool:
-            return t.demand.fits_in(state["remaining"])
+            demand = t.demand
+            key = (demand.cpu, demand.mem)
+            if key in over_budget:
+                return False
+            if demand.fits_in(state["remaining"]):
+                return True
+            over_budget.add(key)
+            return False
 
         def debit(t: Task, _server) -> None:
             state["remaining"] = (state["remaining"] - t.demand).clamp_nonnegative()
@@ -153,7 +192,7 @@ class DollyMPScheduler(Scheduler):
         category_length = 2.0**level
         for jid in job_ids:
             for phase in by_id[jid].phases:
-                if phase.is_finished:
+                if phase.num_running == 0:  # O(1) guard before the scan
                     continue
                 for task in phase.tasks:
                     if task.state is TaskState.RUNNING and self.policy.may_clone(

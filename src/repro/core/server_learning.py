@@ -167,6 +167,7 @@ class LearningDollyMPScheduler(DollyMPScheduler):
         self.name = f"Learning{self.name}"
 
     def on_task_finish(self, task: Task, view: "ClusterView") -> None:
+        super().on_task_finish(task, view)  # keep the measure cache honest
         self.tracker.observe_task(task)
 
     def server_weight(self, server: Server) -> float:

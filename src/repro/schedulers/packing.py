@@ -3,14 +3,30 @@
 Both DollyMP (Alg. 2, steps 9–15) and the Tetris-style baselines place
 one task at a time, choosing among equally-prioritized candidates the
 (task, server) pair maximizing the resource-fit inner product
-R_i^c·c + R_i^m·m.  The loop below implements that with an incremental
-cache: launching a task only reduces one server's availability, so only
-candidates whose cached best server was that one need rescoring.
+R_i^c·c + R_i^m·m.
+
+Two implementations produce identical placement sequences:
+
+* the **vectorized** path (default) keeps a candidate×server score
+  matrix against the cluster's availability mirror; each launch only
+  invalidates the launched server's column, so a pass is one column
+  update plus one ``argmax`` per placement;
+* the **scalar reference** path (``Cluster(vectorized=False)`` /
+  ``REPRO_SCALAR_PLACEMENT=1``) is the original per-server loop with an
+  incremental best-server cache.
+
+Tie-breaking contract (both paths): the *earliest candidate* in the
+given order wins equal scores, and within a candidate the *lowest
+server id* wins — the scalar loops use strict ``>`` so the first
+maximum is kept, and the row-major ``argmax`` over the matrix returns
+exactly the same (candidate, server) pair.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
 
 from repro.cluster.server import Server
 from repro.workload.phase import Phase
@@ -27,6 +43,9 @@ __all__ = [
     "next_pending_task",
 ]
 
+#: Resources.fits_in tolerance, replicated for the vectorized masks.
+_EPS = 1e-9
+
 
 def first_fit_server(view: "ClusterView", demand) -> Server | None:
     """Best-fit (max alignment) server for a demand, or None."""
@@ -42,6 +61,8 @@ def pending_by_phase(job, now: float | None = None) -> list[tuple[Phase, list[Ta
     """
     out: list[tuple[Phase, list[Task]]] = []
     for phase in job.ready_phases(now):
+        if phase.num_pending == 0:  # O(1) guard before the task scan
+            continue
         pending = [t for t in phase.tasks if t.state is TaskState.PENDING]
         if pending:
             out.append((phase, pending))
@@ -83,7 +104,7 @@ class _Candidate:
             score = demand.dot(avail)
             if server_weight is not None:
                 score *= server_weight(s)
-            if score > self.best_score:
+            if score > self.best_score:  # strict: ties keep the lowest id
                 self.best_server, self.best_score = s, score
 
 
@@ -101,8 +122,96 @@ def fill_tasks_best_fit(
     tasks to place.  Used per priority group by DollyMP and per ordering
     bucket by the baselines.  ``server_weight`` optionally scales each
     server's fit score (the straggler-avoidance extension multiplies by
-    the inverse of the server's learned slowdown).
+    the inverse of the server's learned slowdown); on the vectorized
+    path it is evaluated once per server and applied as a weight vector.
     """
+    if view.cluster.vectorized:
+        return _fill_tasks_vectorized(
+            view, phases_with_tasks, on_launch=on_launch, server_weight=server_weight
+        )
+    return _fill_tasks_scalar(
+        view, phases_with_tasks, on_launch=on_launch, server_weight=server_weight
+    )
+
+
+def _fill_tasks_vectorized(
+    view: "ClusterView",
+    phases_with_tasks: list[tuple[Phase, list[Task]]],
+    *,
+    on_launch: Callable[[Task, Server], None] | None,
+    server_weight: Callable[[Server], float] | None,
+) -> int:
+    """Batched fill: one candidate×server score matrix, updated one
+    column per launch (only the launched server's availability shrank).
+    """
+    phases = [phase for phase, tasks in phases_with_tasks if tasks]
+    queues = [list(tasks) for _, tasks in phases_with_tasks if tasks]
+    if not phases:
+        return 0
+    cluster = view.cluster
+    mirror = cluster.mirror
+    servers = cluster.servers
+    num_servers = len(servers)
+    weights = None
+    if server_weight is not None:
+        weights = np.fromiter(
+            (server_weight(s) for s in servers), np.float64, num_servers
+        )
+    d_cpu = np.fromiter((p.demand.cpu for p in phases), np.float64, len(phases))
+    d_mem = np.fromiter((p.demand.mem for p in phases), np.float64, len(phases))
+
+    # scores[c, s] = demand_c · avail_s (then × weight_s), -inf where the
+    # demand does not fit — the same expression, in the same operation
+    # order, as the scalar rescore, so scores are bit-identical.
+    scores = d_cpu[:, None] * mirror.avail_cpu[None, :] + d_mem[:, None] * mirror.avail_mem[None, :]
+    if weights is not None:
+        scores *= weights[None, :]
+    fits = (mirror.avail_cpu[None, :] + _EPS >= d_cpu[:, None]) & (
+        mirror.avail_mem[None, :] + _EPS >= d_mem[:, None]
+    )
+    scores[~fits] = -np.inf
+
+    dead = np.zeros(len(phases), dtype=bool)
+    any_dead = False
+    launched = 0
+    while True:
+        flat = int(scores.argmax())
+        ci, sj = divmod(flat, num_servers)
+        if scores[ci, sj] == -np.inf:
+            break  # nothing placeable remains
+        task = queues[ci].pop()
+        server = servers[sj]
+        view.launch(task, server)
+        if on_launch is not None:
+            on_launch(task, server)
+        launched += 1
+        # Only `server`'s availability changed (shrank): refresh its
+        # column against every candidate demand.
+        a_cpu = mirror.avail_cpu[sj]
+        a_mem = mirror.avail_mem[sj]
+        col = d_cpu * a_cpu + d_mem * a_mem
+        if weights is not None:
+            col *= weights[sj]
+        col[~((a_cpu + _EPS >= d_cpu) & (a_mem + _EPS >= d_mem))] = -np.inf
+        scores[:, sj] = col
+        if any_dead:
+            scores[dead, sj] = -np.inf  # exhausted candidates stay dead
+        if not queues[ci]:
+            dead[ci] = True
+            any_dead = True
+            scores[ci, :] = -np.inf
+    return launched
+
+
+def _fill_tasks_scalar(
+    view: "ClusterView",
+    phases_with_tasks: list[tuple[Phase, list[Task]]],
+    *,
+    on_launch: Callable[[Task, Server], None] | None,
+    server_weight: Callable[[Server], float] | None,
+) -> int:
+    """Reference fill: per-candidate best-server cache, rescored only
+    when the cached best server's availability changes."""
     cands = [
         _Candidate(phase, list(tasks))
         for phase, tasks in phases_with_tasks

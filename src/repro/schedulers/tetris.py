@@ -65,16 +65,23 @@ class TetrisScheduler(Scheduler):
         only the most downstream-critical ready phase instead)."""
         return job.ready_phases(now)
 
-    def _rescore(self, cand: _JobCandidate, servers) -> None:
+    def _rescore(self, cand: _JobCandidate, cluster) -> None:
         demand = cand.phase.demand
+        if cluster.vectorized:
+            hit = cluster.mirror.best_fit(demand)
+            if hit is None:
+                cand.best_server, cand.best_align = None, -1.0
+            else:
+                cand.best_server, cand.best_align = cluster.servers[hit[0]], hit[1]
+            return
         cand.best_server = None
         cand.best_align = -1.0
-        for s in servers:
+        for s in cluster.servers:
             avail = s.available
             if not demand.fits_in(avail):
                 continue
             align = demand.dot(avail)
-            if align > cand.best_align:
+            if align > cand.best_align:  # strict: ties keep the lowest id
                 cand.best_server, cand.best_align = s, align
 
     def schedule(self, view: "ClusterView") -> None:
@@ -90,10 +97,10 @@ class TetrisScheduler(Scheduler):
                 pending = [t for t in phase.tasks if t.state is TaskState.PENDING]
                 if pending:
                     cands.append(_JobCandidate(j, phase, pending, shortness))
-        servers = view.cluster.servers
-        align_scale = max(s.capacity.dot(s.capacity) for s in servers)
+        cluster = view.cluster
+        align_scale = max(s.capacity.dot(s.capacity) for s in cluster.servers)
         for c in cands:
-            self._rescore(c, servers)
+            self._rescore(c, cluster)
         while True:
             best: _JobCandidate | None = None
             best_score = -1.0
@@ -111,6 +118,6 @@ class TetrisScheduler(Scheduler):
             view.launch(task, server)
             for c in cands:
                 if c.best_server is server:
-                    self._rescore(c, servers)
+                    self._rescore(c, cluster)
             cands = [c for c in cands if c.queue and c.best_server is not None]
         self.speculation.launch_backups(view, jobs)

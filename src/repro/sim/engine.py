@@ -215,9 +215,11 @@ class SimulationEngine:
     def _account_until(self, t: float) -> None:
         dt = t - self._last_account_time
         if dt > 0:
-            alloc = self.cluster.total_allocated()
-            self._alloc_integral_cpu += alloc.cpu * dt
-            self._alloc_integral_mem += alloc.mem * dt
+            # Mirror aggregates: one vectorized reduction per event
+            # instead of a per-server Python sum.
+            cpu, mem = self.cluster.mirror.total_allocated_components()
+            self._alloc_integral_cpu += cpu * dt
+            self._alloc_integral_mem += mem * dt
             self._last_account_time = t
 
     def average_utilization(self) -> Resources:

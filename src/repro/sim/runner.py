@@ -5,12 +5,23 @@ scheduler and a workload, get a :class:`SimulationResult` back.  Jobs
 must be freshly built per run (task state is mutated); use a factory
 when comparing schedulers on "the same" workload — see
 :func:`compare_schedulers`.
+
+``compare_schedulers`` additionally supports multi-seed sweeps
+(``seeds=[...]``) and parallel execution (``workers=N``) so benchmark
+sweeps use all cores: each (scheduler, seed) combination is an
+independent simulation, dispatched through ``concurrent.futures``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Mapping
+import pickle
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.schedulers.base import Scheduler
@@ -49,28 +60,98 @@ def run_simulation(
     return engine.run()
 
 
+def _run_combo(
+    make_cluster: Callable[[], Cluster],
+    make_sched: Callable[[], Scheduler],
+    make_jobs: Callable[[], list[Job]],
+    seed: int,
+    schedule_interval: float,
+    max_time: float,
+) -> SimulationResult:
+    """One (scheduler, seed) cell of a sweep — module-level so worker
+    processes can unpickle it."""
+    return run_simulation(
+        make_cluster(),
+        make_sched(),
+        make_jobs(),
+        seed=seed,
+        schedule_interval=schedule_interval,
+        max_time=max_time,
+    )
+
+
 def compare_schedulers(
     make_cluster: Callable[[], Cluster],
     make_jobs: Callable[[], list[Job]],
     schedulers: Mapping[str, Callable[[], Scheduler]],
     *,
     seed: int = 0,
+    seeds: Sequence[int] | None = None,
     schedule_interval: float = 0.0,
     max_time: float = math.inf,
-) -> dict[str, SimulationResult]:
+    workers: int | None = None,
+):
     """Run the same (freshly rebuilt) workload under several policies.
 
     Factories are required because jobs and clusters are stateful; each
-    policy gets a pristine copy and the same duration seed.
+    policy gets a pristine copy and the same duration seed(s).
+
+    * ``seeds=None`` (default): one run per scheduler at ``seed``;
+      returns ``{name: SimulationResult}`` (the historical shape).
+    * ``seeds=[s0, s1, ...]``: a multi-seed sweep; returns
+      ``{name: {seed: SimulationResult}}``.
+    * ``workers=N`` (N > 1): run the independent (scheduler, seed)
+      cells in parallel.  Picklable factories (module-level functions)
+      are dispatched to a process pool so sweeps use all cores;
+      unpicklable factories (lambdas, closures) fall back to a thread
+      pool, which is still correct but GIL-bound.
     """
-    results: dict[str, SimulationResult] = {}
-    for name, make_sched in schedulers.items():
-        results[name] = run_simulation(
-            make_cluster(),
-            make_sched(),
-            make_jobs(),
-            seed=seed,
-            schedule_interval=schedule_interval,
-            max_time=max_time,
+    seed_list = [seed] if seeds is None else list(seeds)
+    if not seed_list:
+        raise ValueError("seeds must be non-empty when provided")
+    combos = [(name, make, s) for name, make in schedulers.items() for s in seed_list]
+
+    cells: dict[tuple[str, int], SimulationResult] = {}
+    if workers is not None and workers > 1 and len(combos) > 1:
+        cells = _run_parallel(
+            make_cluster, make_jobs, combos, schedule_interval, max_time, workers
         )
-    return results
+    else:
+        for name, make, s in combos:
+            cells[(name, s)] = _run_combo(
+                make_cluster, make, make_jobs, s, schedule_interval, max_time
+            )
+
+    if seeds is None:
+        return {name: cells[(name, seed)] for name in schedulers}
+    return {
+        name: {s: cells[(name, s)] for s in seed_list} for name in schedulers
+    }
+
+
+def _run_parallel(
+    make_cluster: Callable[[], Cluster],
+    make_jobs: Callable[[], list[Job]],
+    combos: list[tuple[str, Callable[[], Scheduler], int]],
+    schedule_interval: float,
+    max_time: float,
+    workers: int,
+) -> dict[tuple[str, int], SimulationResult]:
+    try:
+        pickle.dumps((make_cluster, make_jobs, [m for _, m, _ in combos]))
+        pool_cls = ProcessPoolExecutor
+    except Exception:
+        # Lambdas/closures can't cross a process boundary; threads keep
+        # the parallel API usable (numpy kernels release the GIL).
+        pool_cls = ThreadPoolExecutor
+    out: dict[tuple[str, int], SimulationResult] = {}
+    with pool_cls(max_workers=workers) as pool:
+        futures = {
+            pool.submit(
+                _run_combo, make_cluster, make, make_jobs, s, schedule_interval, max_time
+            ): (name, s)
+            for name, make, s in combos
+        }
+        for fut in as_completed(futures):
+            out[futures[fut]] = fut.result()
+    return out

@@ -34,6 +34,7 @@ class Phase:
         "tasks",
         "start_delay",
         "_finished_count",
+        "_pending_count",
     )
 
     def __init__(
@@ -67,9 +68,12 @@ class Phase:
         #: between dependent phases (0 = instantaneous handoff).
         self.start_delay = float(start_delay)
         self.tasks = [Task(self, i) for i in range(num_tasks)]
-        # Finished-task counter (maintained by Task.complete) — phase
-        # readiness is checked constantly, so it must not be a scan.
+        # Finished- and pending-task counters (maintained by
+        # Task.add_copy/Task.complete) — phase readiness and the
+        # scheduler's pending scans are checked constantly, so neither
+        # may be a scan.
         self._finished_count = 0
+        self._pending_count = num_tasks
         if speedup is not None:
             self.speedup = speedup
         else:
@@ -117,10 +121,27 @@ class Phase:
         if self._finished_count > len(self.tasks):
             raise RuntimeError(f"phase {self.name}: finished-count overflow")
 
+    def task_left_pending(self) -> None:
+        """Hook called by :meth:`Task.add_copy`/:meth:`Task.complete`
+        when a task leaves the PENDING state (tasks never re-enter it)."""
+        self._pending_count -= 1
+        if self._pending_count < 0:
+            raise RuntimeError(f"phase {self.name}: pending-count underflow")
+
     @property
     def num_unfinished(self) -> int:
         """n_j^k(t) of Eq. (16)."""
         return len(self.tasks) - self._finished_count
+
+    @property
+    def num_pending(self) -> int:
+        """Tasks with no copy launched yet — O(1), not a scan."""
+        return self._pending_count
+
+    @property
+    def num_running(self) -> int:
+        """Tasks launched but not finished — O(1), not a scan."""
+        return len(self.tasks) - self._finished_count - self._pending_count
 
     @property
     def is_finished(self) -> bool:

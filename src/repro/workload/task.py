@@ -175,12 +175,16 @@ class Task:
             raise RuntimeError(f"task {self.uid} already finished")
         self.copies.append(copy)
         self._live_count += 1
+        if self.state is TaskState.PENDING:
+            self.phase.task_left_pending()
         self.state = TaskState.RUNNING
 
     def complete(self, time: float) -> None:
         """Mark the task finished at ``time`` (first copy won)."""
         if self.state is TaskState.FINISHED:
             raise RuntimeError(f"task {self.uid} finished twice")
+        if self.state is TaskState.PENDING:
+            self.phase.task_left_pending()
         self.state = TaskState.FINISHED
         self.finish_time = time
         self.phase.task_finished()

@@ -101,3 +101,44 @@ class TestQueries:
     def test_iteration_order(self):
         c = two_server_cluster()
         assert [s.server_id for s in c] == [0, 1]
+
+
+def identical_cluster(n=4, vectorized=None):
+    return Cluster(
+        [Server(i, Resources.of(8, 16)) for i in range(n)], vectorized=vectorized
+    )
+
+
+class TestTieBreaking:
+    """Equal alignment scores must resolve to the *lowest* server id in
+    both placement paths (scalar strict ``>`` keeps the first maximum;
+    ``np.argmax`` returns the first maximal index)."""
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_all_equal_picks_server_zero(self, vectorized):
+        c = identical_cluster(vectorized=vectorized)
+        best = c.best_fit_server(Resources.of(2, 4))
+        assert best is not None and best.server_id == 0
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_tie_after_loading_lowest_wins(self, vectorized):
+        c = identical_cluster(vectorized=vectorized)
+        # Load servers 0 and 1 identically: 2 and 3 now tie for best.
+        c[0].allocate(make_copy(make_task(4, 8), server_id=0))
+        c[1].allocate(make_copy(make_task(4, 8), server_id=1))
+        best = c.best_fit_server(Resources.of(2, 4))
+        assert best is not None and best.server_id == 2
+
+    def test_both_modes_agree_on_every_query(self):
+        cv = identical_cluster(vectorized=True)
+        cs = identical_cluster(vectorized=False)
+        for c in (cv, cs):
+            c[1].allocate(make_copy(make_task(3, 6), server_id=1))
+            c[3].allocate(make_copy(make_task(3, 6), server_id=3))
+        for demand in (Resources.of(2, 4), Resources.of(5, 10), Resources.of(8, 16)):
+            bv, bs = cv.best_fit_server(demand), cs.best_fit_server(demand)
+            assert (bv and bv.server_id) == (bs and bs.server_id)
+            assert [s.server_id for s in cv.servers_fitting(demand)] == [
+                s.server_id for s in cs.servers_fitting(demand)
+            ]
+            assert cv.any_fits(demand) == cs.any_fits(demand)

@@ -1,0 +1,105 @@
+"""Property tests: the availability mirror always equals a fresh recompute.
+
+The mirror is updated *incrementally* (one O(1) store per
+allocate/release); these tests drive arbitrary operation sequences —
+including the engine's clone first-copy-wins kill path — and assert the
+arrays are bit-identical to a mirror rebuilt from scratch off the
+servers' own bookkeeping.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.cluster.mirror import AvailabilityMirror
+from repro.cluster.server import Server
+from repro.core.online import DollyMPScheduler
+from repro.resources import Resources
+from repro.sim.runner import run_simulation
+from repro.workload.mapreduce import wordcount_job
+from tests.cluster.test_server import make_copy, make_task
+
+
+def assert_mirror_fresh(cluster: Cluster) -> None:
+    """The incrementally-maintained arrays must equal a from-scratch
+    rebuild, bit for bit (no tolerance: both read the same floats)."""
+    fresh = AvailabilityMirror(cluster.servers)
+    mirror = cluster.mirror
+    for field in ("avail_cpu", "avail_mem", "alloc_cpu", "alloc_mem"):
+        assert np.array_equal(getattr(mirror, field), getattr(fresh, field)), field
+
+
+def small_cluster() -> Cluster:
+    return Cluster(
+        [
+            Server(0, Resources.of(8, 16)),
+            Server(1, Resources.of(4, 8)),
+            Server(2, Resources.of(16, 8), slowdown=1.5),
+            Server(3, Resources.of(6, 6)),
+        ]
+    )
+
+
+@given(ops=st.lists(st.integers(min_value=0, max_value=10**9), max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_mirror_matches_recompute_after_arbitrary_ops(ops):
+    """Arbitrary interleavings of allocate and release (kill/finish both
+    reduce to Server.release) keep the mirror exact."""
+    cluster = small_cluster()
+    running: list[tuple[Server, object]] = []
+    for op in ops:
+        if op % 3 == 0 and running:
+            server, copy = running.pop(op % len(running))
+            server.release(copy)
+        else:
+            sid = op % len(cluster.servers)
+            server = cluster.servers[sid]
+            task = make_task(cpu=1.0 + op % 5, mem=1.0 + op % 7)
+            if server.can_fit(task.demand):
+                copy = make_copy(task, server_id=sid, duration=5.0)
+                server.allocate(copy)
+                running.append((server, copy))
+        assert_mirror_fresh(cluster)
+    # Drain everything: the mirror must land back on full availability.
+    for server, copy in running:
+        server.release(copy)
+    assert_mirror_fresh(cluster)
+    assert cluster.total_allocated() == Resources.of(0, 0)
+
+
+class _AuditingDollyMP(DollyMPScheduler):
+    """Asserts mirror exactness on every schedule pass, mid-simulation —
+    i.e. while clones are racing and first-copy-wins kills fire."""
+
+    passes = 0
+
+    def schedule(self, view):
+        assert_mirror_fresh(view.cluster)
+        super().schedule(view)
+        assert_mirror_fresh(view.cluster)
+        type(self).passes += 1
+
+
+def test_mirror_exact_through_clone_kill_path():
+    """An engine-driven run with aggressive cloning exercises
+    _process_copy_finish: the winning copy finishes, siblings are killed
+    and released; the mirror must stay exact at every schedule pass."""
+    cluster = paper_cluster_30_nodes()
+    jobs = [
+        wordcount_job(3.0 + i, arrival_time=2.0 * i, job_id=500 + i, cv=1.2)
+        for i in range(5)
+    ]
+    _AuditingDollyMP.passes = 0
+    result = run_simulation(
+        cluster, _AuditingDollyMP(max_clones=2), jobs, seed=3, max_time=1e6
+    )
+    assert result.num_jobs == 5
+    assert result.clones_launched > 0  # the kill path actually ran
+    assert _AuditingDollyMP.passes > 10
+    assert_mirror_fresh(cluster)
+    # All jobs done: the cluster must be fully drained.
+    assert cluster.total_allocated() == Resources.of(0, 0)
+    assert np.array_equal(cluster.mirror.avail_cpu, cluster.mirror.cap_cpu)
+    assert np.array_equal(cluster.mirror.avail_mem, cluster.mirror.cap_mem)

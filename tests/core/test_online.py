@@ -207,3 +207,79 @@ class TestDAGJobs:
             max_time=1e5,
         )
         assert res.num_jobs == 3
+
+
+class _StubView:
+    """Minimal stand-in exposing what recompute_priorities reads."""
+
+    def __init__(self, cluster, jobs):
+        self.cluster = cluster
+        self.active_jobs = jobs
+
+
+class TestPriorityCache:
+    """The JobMeasure cache must be invalidated exactly when a job's
+    remaining volume changes (task/job finish) and never go stale."""
+
+    def make_setup(self):
+        cluster = homogeneous_cluster(4, Resources.of(8, 16))
+        jobs = [
+            make_chain_job(2, 4, theta=10.0, job_id=1),
+            make_chain_job(1, 2, theta=3.0, job_id=2),
+        ]
+        return cluster, jobs, _StubView(cluster, jobs)
+
+    def test_measures_cached_across_recomputes(self):
+        _, jobs, view = self.make_setup()
+        sched = DollyMPScheduler()
+        sched.recompute_priorities(view)
+        first = dict(sched._measures)
+        assert set(first) == {1, 2}
+        sched.recompute_priorities(view)
+        # Cache hit: the very same JobMeasure objects, not re-measured.
+        assert sched._measures[1] is first[1]
+        assert sched._measures[2] is first[2]
+
+    def test_task_finish_invalidates_only_that_job(self):
+        _, jobs, view = self.make_setup()
+        sched = DollyMPScheduler()
+        sched.recompute_priorities(view)
+        before = dict(sched._measures)
+        task = jobs[0].phases[0].tasks[0]
+        task.complete(5.0)
+        sched.on_task_finish(task, view)
+        assert 1 not in sched._measures
+        sched.recompute_priorities(view)
+        assert sched._measures[1] is not before[1]  # re-measured
+        assert sched._measures[2] is before[2]      # untouched
+
+    def test_cached_priorities_match_fresh_scheduler(self):
+        _, jobs, view = self.make_setup()
+        warm = DollyMPScheduler()
+        warm.recompute_priorities(view)
+        # Mutate job state the way the engine does, with hook calls.
+        for task in jobs[0].phases[0].tasks[:2]:
+            task.complete(4.0)
+            warm.on_task_finish(task, view)
+        warm.recompute_priorities(view)
+        cold = DollyMPScheduler()
+        cold.recompute_priorities(view)
+        assert warm._priorities == cold._priorities
+
+    def test_job_finish_drops_measure_and_priority(self):
+        _, jobs, view = self.make_setup()
+        sched = DollyMPScheduler()
+        sched.recompute_priorities(view)
+        sched.on_job_finish(jobs[1], view)
+        assert 2 not in sched._measures
+        assert sched.priority_of(jobs[1]) is None
+
+    def test_new_cluster_resets_cache(self):
+        _, jobs, view = self.make_setup()
+        sched = DollyMPScheduler()
+        sched.recompute_priorities(view)
+        stale = sched._measures[1]
+        bigger = homogeneous_cluster(8, Resources.of(8, 16))
+        sched.recompute_priorities(_StubView(bigger, jobs))
+        # Measures are relative to total capacity: all re-measured.
+        assert sched._measures[1] is not stale

@@ -59,3 +59,64 @@ class TestCompareSchedulers:
         assert results["a"].records[0].finish_time == pytest.approx(
             results["b"].records[0].finish_time
         )
+
+
+# Module-level factories: picklable, so workers=N exercises the
+# ProcessPoolExecutor path rather than the thread fallback.
+def _mk_cluster():
+    return homogeneous_cluster(2, Resources.of(4, 8))
+
+
+def _mk_jobs():
+    return [
+        make_single_task_job(theta=10.0, sigma=4.0, job_id=1),
+        make_single_task_job(theta=2.0, sigma=1.0, arrival_time=1.0, job_id=2),
+        make_single_task_job(theta=6.0, sigma=2.0, arrival_time=2.0, job_id=3),
+    ]
+
+
+class TestParallelSweeps:
+    SCHEDS = {"fifo": FIFOScheduler, "srpt": SRPTScheduler}
+
+    def test_seeds_sweep_shape(self):
+        results = compare_schedulers(
+            _mk_cluster, _mk_jobs, self.SCHEDS, seeds=[1, 2, 3]
+        )
+        assert set(results) == {"fifo", "srpt"}
+        for per_seed in results.values():
+            assert set(per_seed) == {1, 2, 3}
+
+    def test_parallel_matches_serial(self):
+        serial = compare_schedulers(_mk_cluster, _mk_jobs, self.SCHEDS, seeds=[1, 2])
+        par = compare_schedulers(
+            _mk_cluster, _mk_jobs, self.SCHEDS, seeds=[1, 2], workers=2
+        )
+        for name in self.SCHEDS:
+            for s in (1, 2):
+                assert par[name][s].total_flowtime == serial[name][s].total_flowtime
+                assert par[name][s].makespan == serial[name][s].makespan
+
+    def test_parallel_with_lambdas_falls_back_to_threads(self):
+        # Unpicklable factories must still produce correct results.
+        serial = compare_schedulers(_mk_cluster, _mk_jobs, self.SCHEDS, seed=5)
+        par = compare_schedulers(
+            lambda: _mk_cluster(),
+            lambda: _mk_jobs(),
+            self.SCHEDS,
+            seed=5,
+            seeds=[5],
+            workers=2,
+        )
+        for name in self.SCHEDS:
+            assert par[name][5].total_flowtime == serial[name].total_flowtime
+
+    def test_single_seed_keeps_historical_shape(self):
+        results = compare_schedulers(
+            _mk_cluster, _mk_jobs, self.SCHEDS, seed=7, workers=2
+        )
+        # seeds=None: flat {name: result} even when run in parallel.
+        assert results["fifo"].num_jobs == 3
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            compare_schedulers(_mk_cluster, _mk_jobs, self.SCHEDS, seeds=[])
