@@ -1,0 +1,22 @@
+# Repro development targets.  `make check` is the full gate CI runs:
+# static analysis, the tier-1 test suite, a sanitizer-enabled smoke
+# simulation, and the benchmark regression guard.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: check lint test smoke bench-check
+
+check: lint test smoke bench-check
+
+lint:
+	$(PYTHON) -m tools.repro_lint src tests benchmarks
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	REPRO_SANITIZE=1 $(PYTHON) -m repro.devtools.smoke
+
+bench-check:
+	$(PYTHON) -m benchmarks.check_regression

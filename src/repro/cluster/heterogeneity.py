@@ -97,7 +97,9 @@ def trace_sim_cluster(
     servers = []
     for i, k in enumerate(picks):
         cap, slow, _ = classes[int(k)]
-        if cpu_scale != 1.0:
+        # Exact sentinel: 1.0 means "no scaling requested", not a measured
+        # quantity.
+        if cpu_scale != 1.0:  # repro-lint: ignore[RL003]
             cap = Resources.of(max(1.0, round(cap.cpu * cpu_scale)), cap.mem)
         servers.append(Server(i, cap, slowdown=slow))
     racks = max(1, num_servers // 40)

@@ -41,15 +41,12 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.resources import Resources
+from repro.resources import EPS, Resources
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.server import Server
 
 __all__ = ["AvailabilityMirror"]
-
-#: Same tolerance as Resources.fits_in (kept in sync via the test suite).
-_EPS = 1e-9
 
 
 class AvailabilityMirror:
@@ -102,8 +99,8 @@ class AvailabilityMirror:
     # ------------------------------------------------------------------
     def fitting_mask(self, demand: Resources) -> np.ndarray:
         """Boolean mask of servers that can host ``demand`` (Eq. 5)."""
-        return (self.avail_cpu + _EPS >= demand.cpu) & (
-            self.avail_mem + _EPS >= demand.mem
+        return (self.avail_cpu + EPS >= demand.cpu) & (
+            self.avail_mem + EPS >= demand.mem
         )
 
     def any_fits(self, demand: Resources) -> bool:

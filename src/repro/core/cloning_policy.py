@@ -110,11 +110,16 @@ class CloningPolicy:
 
 
 def clone_resource_occupancy(cluster: "Cluster") -> Resources:
-    """Total resources currently held by live clone copies."""
+    """Total resources currently held by live clone copies.
+
+    Copies are summed in launch order (``copy_uid``): ``running_copies``
+    is a set, and float addition is order-sensitive, so an unsorted sum
+    could differ between two runs of the same schedule.
+    """
     return sum_resources(
         c.task.demand
         for server in cluster
-        for c in server.running_copies
+        for c in sorted(server.running_copies, key=lambda c: c.copy_uid)
         if c.is_clone
     )
 

@@ -86,7 +86,9 @@ class DollyMPScheduler(Scheduler):
     # ------------------------------------------------------------------
     def recompute_priorities(self, view: "ClusterView") -> None:
         total = view.cluster.total_capacity
-        if total != self._measure_capacity:
+        # Exact comparison on purpose: this is a cache identity key (same
+        # cluster ⇒ same floats), not a tolerance check.
+        if total != self._measure_capacity:  # repro-lint: ignore[RL003]
             # Measures are relative to the cluster total (Eq. 15); a
             # scheduler reused against a different cluster starts fresh.
             self._measures.clear()

@@ -34,6 +34,7 @@ from typing import Sequence
 
 from repro.core.knapsack import max_count_knapsack
 from repro.core.volume import JobMeasure
+from repro.resources import EPS
 from repro.workload.speedup import SpeedupFunction
 
 __all__ = [
@@ -162,4 +163,4 @@ def theorem1_bound_holds(
     """
     if speedup_bound < 1:
         raise ValueError("R must be >= 1 (h(1) = 1)")
-    return achieved_flowtime <= 6.0 * speedup_bound * flowtime_lower_bound(measures) + 1e-9
+    return achieved_flowtime <= 6.0 * speedup_bound * flowtime_lower_bound(measures) + EPS

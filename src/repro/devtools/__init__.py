@@ -1,0 +1,26 @@
+"""Developer tooling that ships with the library (opt-in at runtime).
+
+* :mod:`repro.devtools.sanitizer` — the simulation sanitizer: after
+  every event it re-derives the scheduler's correctness invariants from
+  first principles and fails loudly on the first divergence.
+* :mod:`repro.devtools.smoke` — a small deterministic DollyMP run used
+  by CI as the sanitizer-enabled smoke test
+  (``python -m repro.devtools.smoke``).
+
+The static half of the tooling lives outside the package in
+``tools/repro_lint`` so that importing ``repro`` never pulls it in.
+"""
+
+from repro.devtools.sanitizer import (
+    InvariantKind,
+    SanitizerError,
+    SanitizerViolation,
+    SimulationSanitizer,
+)
+
+__all__ = [
+    "InvariantKind",
+    "SanitizerError",
+    "SanitizerViolation",
+    "SimulationSanitizer",
+]

@@ -1,0 +1,313 @@
+"""Runtime sanitizer for the simulation engine.
+
+The vectorized placement engine is only trustworthy while a set of
+bookkeeping invariants hold (DESIGN.md §5.2).  The static linter
+(``tools/repro_lint``) keeps the *code* from violating them; this module
+checks the *running state*: with sanitization enabled
+(``REPRO_SANITIZE=1`` or ``SimulationEngine(..., sanitize=True)``), the
+engine re-derives every invariant from first principles after each
+event and raises :class:`SanitizerError` on the first divergence.
+
+Invariants checked (paper references in parentheses):
+
+* **capacity-conservation** — per server, ``allocated + available ==
+  capacity`` within ``EPS`` in both dimensions (the capacity model of
+  Sec. 3 / Eq. 5), and the allocation equals the sum of the demands of
+  the copies actually running there;
+* **mirror-coherence** — the SoA availability mirror holds bit-for-bit
+  the same floats as the ``Server`` objects it mirrors;
+* **clone-bound** — no task holds more than ``1 + max_extra_clones``
+  live copies (the Sec. 5 cap behind Thm. 2's speedup bound), and each
+  task's cached live-copy counter matches its copy list;
+* **negative-availability** — no availability or allocation entry is
+  below ``-EPS`` anywhere;
+* **time-monotonicity** — simulated time never moves backwards.
+
+The sanitizer is O(servers + running copies) per event, so it roughly
+doubles simulation cost — keep it off for benchmarks and sweeps, on for
+tests and new-scheduler bring-up.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.resources import EPS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import SimulationEngine
+
+__all__ = [
+    "InvariantKind",
+    "SanitizerError",
+    "SanitizerViolation",
+    "SimulationSanitizer",
+    "sanitize_default",
+]
+
+
+def sanitize_default() -> bool:
+    """True when the ``REPRO_SANITIZE`` env toggle is on."""
+    flag = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    return flag not in ("", "0", "false", "no")
+
+
+class InvariantKind(enum.Enum):
+    """The violation classes a sanitizer report can name."""
+
+    CAPACITY_CONSERVATION = "capacity-conservation"
+    MIRROR_COHERENCE = "mirror-coherence"
+    CLONE_BOUND = "clone-bound"
+    NEGATIVE_AVAILABILITY = "negative-availability"
+    TIME_MONOTONICITY = "time-monotonicity"
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One invariant breach, tied to the event and entity that exposed it."""
+
+    kind: InvariantKind
+    message: str
+    event: str
+    server_id: int | None = None
+    job_id: int | None = None
+    task_uid: tuple[int, int, int] | None = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.server_id is not None:
+            where.append(f"server={self.server_id}")
+        if self.job_id is not None:
+            where.append(f"job={self.job_id}")
+        if self.task_uid is not None:
+            where.append(f"task={self.task_uid}")
+        loc = f" [{', '.join(where)}]" if where else ""
+        return f"{self.kind.value}{loc} after {self.event}: {self.message}"
+
+
+class SanitizerError(AssertionError):
+    """Raised on the first event whose post-state breaks an invariant."""
+
+    def __init__(self, violations: list[SanitizerViolation]) -> None:
+        self.violations = violations
+        lines = "\n".join(f"  - {v}" for v in violations)
+        super().__init__(
+            f"simulation sanitizer: {len(violations)} invariant "
+            f"violation(s):\n{lines}"
+        )
+
+
+class SimulationSanitizer:
+    """Re-derives the engine's invariants from scratch after each event.
+
+    ``max_copies`` bounds *live* copies per task (original + clones).
+    When not given it is inferred from the scheduler's
+    ``CloningPolicy`` (``scheduler.policy.max_copies``) or the engine's
+    ``max_copies_per_task``; with neither available the clone-cap check
+    is skipped (the copy-list coherence check still runs).
+    """
+
+    def __init__(
+        self, engine: "SimulationEngine", *, max_copies: int | None = None
+    ) -> None:
+        self.engine = engine
+        if max_copies is None:
+            policy = getattr(engine.scheduler, "policy", None)
+            max_copies = getattr(policy, "max_copies", None)
+        if max_copies is None:
+            max_copies = engine.max_copies_per_task
+        self.max_copies = max_copies
+        self._last_time = -float("inf")
+
+    # ------------------------------------------------------------------
+    def check(self, event: str = "<manual check>") -> list[SanitizerViolation]:
+        """All current invariant violations (empty when the state is clean)."""
+        out: list[SanitizerViolation] = []
+        out.extend(self._check_time(event))
+        out.extend(self._check_servers(event))
+        out.extend(self._check_mirror(event))
+        out.extend(self._check_clone_bounds(event))
+        return out
+
+    def after_event(self, event: str) -> None:
+        """Engine hook: validate the post-event state, raise on breakage."""
+        violations = self.check(event)
+        if violations:
+            raise SanitizerError(violations)
+
+    # ------------------------------------------------------------------
+    # Individual invariants
+    # ------------------------------------------------------------------
+    def _check_time(self, event: str) -> list[SanitizerViolation]:
+        now = self.engine.now
+        out: list[SanitizerViolation] = []
+        if now < self._last_time:
+            out.append(
+                SanitizerViolation(
+                    InvariantKind.TIME_MONOTONICITY,
+                    f"now={now:g} moved backwards from {self._last_time:g}",
+                    event,
+                )
+            )
+        self._last_time = max(self._last_time, now)
+        return out
+
+    def _check_servers(self, event: str) -> list[SanitizerViolation]:
+        out: list[SanitizerViolation] = []
+        for server in self.engine.cluster:
+            cap, alloc, avail = server.capacity, server.allocated, server.available
+            for dim in ("cpu", "mem"):
+                a = getattr(alloc, dim)
+                v = getattr(avail, dim)
+                c = getattr(cap, dim)
+                if v < -EPS or a < -EPS:
+                    out.append(
+                        SanitizerViolation(
+                            InvariantKind.NEGATIVE_AVAILABILITY,
+                            f"{dim}: available={v:g}, allocated={a:g}",
+                            event,
+                            server_id=server.server_id,
+                        )
+                    )
+                if abs(a + v - c) > EPS:
+                    out.append(
+                        SanitizerViolation(
+                            InvariantKind.CAPACITY_CONSERVATION,
+                            f"{dim}: allocated {a:g} + available {v:g} != "
+                            f"capacity {c:g}",
+                            event,
+                            server_id=server.server_id,
+                        )
+                    )
+            # Allocation must equal the sum of running-copy demands.  The
+            # engine adds/clamps incrementally, so allow one EPS of
+            # accumulated round-off per resident copy.
+            copies = sorted(server.running_copies, key=lambda c: c.copy_uid)
+            tol = EPS * (len(copies) + 1)
+            sum_cpu = 0.0
+            sum_mem = 0.0
+            for copy in copies:
+                if not copy.live:
+                    out.append(
+                        SanitizerViolation(
+                            InvariantKind.CAPACITY_CONSERVATION,
+                            f"dead copy {copy.copy_uid} still resident",
+                            event,
+                            server_id=server.server_id,
+                            task_uid=copy.task.uid,
+                        )
+                    )
+                sum_cpu += copy.task.demand.cpu
+                sum_mem += copy.task.demand.mem
+            if abs(sum_cpu - alloc.cpu) > tol or abs(sum_mem - alloc.mem) > tol:
+                out.append(
+                    SanitizerViolation(
+                        InvariantKind.CAPACITY_CONSERVATION,
+                        f"allocated {alloc!r} != sum of {len(copies)} running "
+                        f"copies ({sum_cpu:g}, {sum_mem:g})",
+                        event,
+                        server_id=server.server_id,
+                    )
+                )
+        return out
+
+    def _check_mirror(self, event: str) -> list[SanitizerViolation]:
+        out: list[SanitizerViolation] = []
+        mirror = self.engine.cluster.mirror
+        for server in self.engine.cluster:
+            i = server.server_id
+            # Bitwise equality on purpose: the mirror stores exactly the
+            # Server floats, and the vectorized/scalar equivalence proof
+            # depends on them never differing by even one ulp.
+            pairs = (
+                ("avail_cpu", mirror.avail_cpu[i], server.available.cpu),
+                ("avail_mem", mirror.avail_mem[i], server.available.mem),
+                ("alloc_cpu", mirror.alloc_cpu[i], server.allocated.cpu),
+                ("alloc_mem", mirror.alloc_mem[i], server.allocated.mem),
+                ("cap_cpu", mirror.cap_cpu[i], server.capacity.cpu),
+                ("cap_mem", mirror.cap_mem[i], server.capacity.mem),
+            )
+            for name, mirrored, truth in pairs:
+                if mirrored != truth:
+                    out.append(
+                        SanitizerViolation(
+                            InvariantKind.MIRROR_COHERENCE,
+                            f"mirror.{name}[{i}]={float(mirrored):g} != "
+                            f"server value {truth:g}",
+                            event,
+                            server_id=server.server_id,
+                        )
+                    )
+        return out
+
+    def _check_clone_bounds(self, event: str) -> list[SanitizerViolation]:
+        out: list[SanitizerViolation] = []
+        lifetime_cap = self.engine.max_copies_per_task
+        # Every live copy must still hold its reservation — a live copy
+        # missing from its server means it was released early (or twice)
+        # while the engine still expects it to finish.
+        resident = {
+            (s.server_id, c.copy_uid)
+            for s in self.engine.cluster
+            for c in s.running_copies
+        }
+        for job_id in sorted(self.engine.active_jobs):
+            job = self.engine.active_jobs[job_id]
+            for phase in job.phases:
+                for task in phase.tasks:
+                    live = 0
+                    for copy in task.copies:
+                        if not copy.live:
+                            continue
+                        live += 1
+                        if (copy.server_id, copy.copy_uid) not in resident:
+                            out.append(
+                                SanitizerViolation(
+                                    InvariantKind.CAPACITY_CONSERVATION,
+                                    f"live copy {copy.copy_uid} is not "
+                                    f"resident on server {copy.server_id} — "
+                                    "released early or twice",
+                                    event,
+                                    server_id=copy.server_id,
+                                    job_id=job_id,
+                                    task_uid=task.uid,
+                                )
+                            )
+                    if live != task.num_live_copies:
+                        out.append(
+                            SanitizerViolation(
+                                InvariantKind.CLONE_BOUND,
+                                f"cached live-copy count "
+                                f"{task.num_live_copies} != actual {live}",
+                                event,
+                                job_id=job_id,
+                                task_uid=task.uid,
+                            )
+                        )
+                    if self.max_copies is not None and live > self.max_copies:
+                        out.append(
+                            SanitizerViolation(
+                                InvariantKind.CLONE_BOUND,
+                                f"{live} live copies exceed the cap of "
+                                f"{self.max_copies} (1 original + "
+                                f"{self.max_copies - 1} extra clones)",
+                                event,
+                                job_id=job_id,
+                                task_uid=task.uid,
+                            )
+                        )
+                    if lifetime_cap is not None and len(task.copies) > lifetime_cap:
+                        out.append(
+                            SanitizerViolation(
+                                InvariantKind.CLONE_BOUND,
+                                f"{len(task.copies)} total copies exceed "
+                                f"max_copies_per_task={lifetime_cap}",
+                                event,
+                                job_id=job_id,
+                                task_uid=task.uid,
+                            )
+                        )
+        return out

@@ -16,12 +16,15 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-__all__ = ["Resources", "ZERO", "sum_resources"]
+__all__ = ["EPS", "Resources", "ZERO", "sum_resources"]
 
 # Tolerance for floating-point capacity checks.  Allocations are sums of
 # demands, so exact comparisons would spuriously reject feasible packings
-# after a few hundred float additions.
-_EPS = 1e-9
+# after a few hundred float additions.  This is the *single* canonical
+# epsilon: every tolerance comparison in the library imports it (enforced
+# by repro-lint rule RL005), so the vectorized mirror, the scalar
+# placement path and the packing masks can never drift apart.
+EPS = 1e-9
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,14 +84,14 @@ class Resources:
         constraint of Eq. (5) in the paper.
         """
         return (
-            self.cpu <= capacity.cpu + _EPS and self.mem <= capacity.mem + _EPS
+            self.cpu <= capacity.cpu + EPS and self.mem <= capacity.mem + EPS
         )
 
     def is_nonnegative(self) -> bool:
-        return self.cpu >= -_EPS and self.mem >= -_EPS
+        return self.cpu >= -EPS and self.mem >= -EPS
 
     def is_zero(self) -> bool:
-        return abs(self.cpu) <= _EPS and abs(self.mem) <= _EPS
+        return abs(self.cpu) <= EPS and abs(self.mem) <= EPS
 
     def clamp_nonnegative(self) -> "Resources":
         """Zero out negative components introduced by float round-off."""

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 import numpy as np
 
 from repro.cluster.server import Server
+from repro.resources import EPS
 from repro.workload.phase import Phase
 from repro.workload.task import Task, TaskState
 
@@ -42,9 +43,6 @@ __all__ = [
     "pending_by_phase",
     "next_pending_task",
 ]
-
-#: Resources.fits_in tolerance, replicated for the vectorized masks.
-_EPS = 1e-9
 
 
 def first_fit_server(view: "ClusterView", demand) -> Server | None:
@@ -166,8 +164,8 @@ def _fill_tasks_vectorized(
     scores = d_cpu[:, None] * mirror.avail_cpu[None, :] + d_mem[:, None] * mirror.avail_mem[None, :]
     if weights is not None:
         scores *= weights[None, :]
-    fits = (mirror.avail_cpu[None, :] + _EPS >= d_cpu[:, None]) & (
-        mirror.avail_mem[None, :] + _EPS >= d_mem[:, None]
+    fits = (mirror.avail_cpu[None, :] + EPS >= d_cpu[:, None]) & (
+        mirror.avail_mem[None, :] + EPS >= d_mem[:, None]
     )
     scores[~fits] = -np.inf
 
@@ -192,7 +190,7 @@ def _fill_tasks_vectorized(
         col = d_cpu * a_cpu + d_mem * a_mem
         if weights is not None:
             col *= weights[sj]
-        col[~((a_cpu + _EPS >= d_cpu) & (a_mem + _EPS >= d_mem))] = -np.inf
+        col[~((a_cpu + EPS >= d_cpu) & (a_mem + EPS >= d_mem))] = -np.inf
         scores[:, sj] = col
         if any_dead:
             scores[dead, sj] = -np.inf  # exhausted candidates stay dead

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.resources import EPS
 from repro.schedulers.base import Scheduler
 from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
 from repro.workload.job import Job
@@ -88,7 +89,7 @@ class TetrisScheduler(Scheduler):
         jobs = view.active_jobs
         if not jobs:
             return
-        remaining = {j.job_id: max(j.remaining_effective_length(0.0), 1e-9) for j in jobs}
+        remaining = {j.job_id: max(j.remaining_effective_length(0.0), EPS) for j in jobs}
         max_rem = max(remaining.values())
         cands: list[_JobCandidate] = []
         for j in jobs:

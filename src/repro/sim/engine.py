@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
+from repro.devtools.sanitizer import SimulationSanitizer, sanitize_default
 from repro.resources import Resources
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import SimulationResult, build_result
@@ -97,6 +98,7 @@ class SimulationEngine:
         schedule_interval: float = 0.0,
         max_time: float = math.inf,
         max_copies_per_task: int | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if schedule_interval < 0:
             raise ValueError("schedule_interval must be non-negative")
@@ -128,6 +130,13 @@ class SimulationEngine:
         self._alloc_integral_cpu = 0.0
         self._alloc_integral_mem = 0.0
         self._last_account_time = 0.0
+
+        # Opt-in invariant checking (DESIGN.md §5.2): after every event
+        # the sanitizer re-derives capacity conservation, mirror
+        # coherence, the clone cap and time monotonicity from scratch.
+        if sanitize is None:
+            sanitize = sanitize_default()
+        self.sanitizer = SimulationSanitizer(self) if sanitize else None
 
         self._validate_feasible()
 
@@ -327,6 +336,8 @@ class SimulationEngine:
                 if nxt is None or nxt.time > self.now:
                     self._run_schedule_pass()
 
+            if self.sanitizer is not None:
+                self.sanitizer.after_event(f"{ev.kind.name} @ t={ev.time:g}")
             self._check_progress()
 
         if self.active_jobs:

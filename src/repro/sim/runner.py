@@ -40,6 +40,7 @@ def run_simulation(
     seed: int = 0,
     schedule_interval: float = 0.0,
     max_time: float = math.inf,
+    sanitize: bool | None = None,
 ) -> SimulationResult:
     """Simulate ``jobs`` on ``cluster`` under ``scheduler``.
 
@@ -47,7 +48,8 @@ def run_simulation(
     simulator uses 5 s); 0 means event-driven like the YARN prototype.
     The ``seed`` fixes the straggler realizations: two schedulers run
     with the same seed see identical duration draws for identical
-    placement sequences.
+    placement sequences.  ``sanitize`` enables the per-event invariant
+    checker (default: the ``REPRO_SANITIZE`` environment toggle).
     """
     engine = SimulationEngine(
         cluster,
@@ -56,6 +58,7 @@ def run_simulation(
         seed=seed,
         schedule_interval=schedule_interval,
         max_time=max_time,
+        sanitize=sanitize,
     )
     return engine.run()
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Sequence
 
+from repro.resources import EPS
 from repro.workload.dag import critical_path_length, validate_dag
 from repro.workload.phase import Phase
 from repro.workload.task import Task, TaskState
@@ -71,7 +72,7 @@ class Job:
         if now is None or phase.start_delay == 0.0:
             return True
         ready_at = self.phase_ready_time(phase)
-        return ready_at is not None and now >= ready_at - 1e-9
+        return ready_at is not None and now >= ready_at - EPS
 
     def phase_ready_time(self, phase: Phase) -> Optional[float]:
         """Earliest time the phase may launch: the last parent finish

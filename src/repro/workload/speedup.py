@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.resources import EPS
 from repro.workload.distributions import ParetoType1
 
 __all__ = [
@@ -94,7 +95,7 @@ class TabulatedSpeedup:
         vals = [float(v) for v in values]
         if not vals:
             raise ValueError("need at least h(1)")
-        if abs(vals[0] - 1.0) > 1e-9:
+        if abs(vals[0] - 1.0) > EPS:
             raise ValueError(f"h(1) must be 1, got {vals[0]}")
         for a, b in zip(vals, vals[1:]):
             if b < a:

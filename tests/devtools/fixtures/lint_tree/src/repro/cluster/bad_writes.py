@@ -1,0 +1,11 @@
+"""RL001 true positives: capacity state written outside the owners."""
+
+
+def corrupt_server(server, demand):
+    server._available = demand              # line 5: attribute store
+    server._allocated += demand             # line 6: augmented store
+
+
+def corrupt_mirror(mirror):
+    mirror.avail_cpu[3] = 0.0               # line 10: mirror array store
+    mirror.alloc_mem[0] -= 1.0              # line 11: augmented array store

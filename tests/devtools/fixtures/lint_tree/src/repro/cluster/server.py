@@ -1,0 +1,7 @@
+"""RL001 allowed idiom: the owner module may write its own bookkeeping."""
+
+
+class Server:
+    def allocate(self, demand):
+        self._allocated = self._allocated + demand
+        self._available = self.capacity - self._allocated

@@ -1,0 +1,7 @@
+"""RL005 true positives: epsilon redefinition and bare 1e-9 literals."""
+
+_EPS = 1e-9                                 # line 3: redefinition + literal
+
+
+def nearly_equal(a, b):
+    return abs(a - b) <= 1e-9               # line 7: bare literal

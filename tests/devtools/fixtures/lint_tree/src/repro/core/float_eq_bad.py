@@ -1,0 +1,9 @@
+"""RL003 true positives: exact float equality in decision code."""
+
+
+def pick(task, server, remaining_time):
+    if remaining_time == 0.0:               # line 5: float-literal equality
+        return None
+    if task.demand.cpu != server.avail_cpu:  # line 7: resource-name equality
+        return server
+    return task

@@ -1,0 +1,15 @@
+"""RL003 allowed idioms: EPS tolerance, infinity sentinels, waivers."""
+
+import math
+
+EPS_TOL_DEMO = None  # not an epsilon constant assignment
+
+
+def compare(a_time, b_time, eps, score, count):
+    if abs(a_time - b_time) <= eps:         # the approved tolerance idiom
+        return True
+    if score == -math.inf:                  # exact inf comparison is fine
+        return False
+    if count == 0:                          # int comparison is fine
+        return False
+    return a_time == b_time  # repro-lint: ignore[RL003]

@@ -1,0 +1,3 @@
+"""RL005 allowed idiom: the canonical epsilon lives here and only here."""
+
+EPS = 1e-9

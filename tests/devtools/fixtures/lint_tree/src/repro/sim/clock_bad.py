@@ -1,0 +1,10 @@
+"""RL004 true positives: wall-clock reads in simulation logic."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(event):
+    event.created_at = time.time()          # line 8: wall clock
+    event.logged_at = datetime.now()        # line 9: wall clock
+    return event

@@ -1,0 +1,9 @@
+"""RL004 allowed idiom: elapsed-time counters for overhead accounting."""
+
+import time as _wallclock
+
+
+def measure_pass(fn):
+    t0 = _wallclock.perf_counter()  # elapsed counter, not wall clock
+    fn()
+    return _wallclock.perf_counter() - t0

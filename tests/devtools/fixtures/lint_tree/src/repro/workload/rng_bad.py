@@ -1,0 +1,13 @@
+"""RL002 true positives: hidden-global-state and unseeded randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter_times(times):
+    random.shuffle(times)                   # line 10: stdlib global RNG
+    noise = np.random.rand(len(times))      # line 11: legacy numpy global
+    rng = default_rng()                     # line 12: unseeded Generator
+    return times, noise, rng

@@ -1,0 +1,17 @@
+"""RL002 allowed idioms: seeded construction, threaded Generators."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_durations(rng: np.random.Generator, n: int):
+    # Drawing from a *threaded* Generator is the approved pattern.
+    return rng.exponential(1.0, size=n)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return default_rng(seed)  # seeded: reproducible
+
+
+def make_rng_explicit(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))

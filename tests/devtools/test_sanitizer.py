@@ -1,0 +1,235 @@
+"""The runtime sanitizer must catch every class of injected corruption.
+
+Each test launches a real copy through the engine, then corrupts state
+the way a buggy scheduler or bookkeeping refactor would, and asserts the
+sanitizer names the right violation class (and entity).  Direct writes
+to ``_available``/``_allocated``/mirror arrays are the *point* of these
+tests — the file is on RL001's ignore list in ``[tool.repro-lint]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.core.online import DollyMPScheduler
+from repro.devtools.sanitizer import (
+    InvariantKind,
+    SanitizerError,
+    SimulationSanitizer,
+)
+from repro.resources import Resources
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import run_simulation
+from repro.workload.task import TaskState
+from tests.conftest import make_chain_job, make_single_task_job
+
+
+def engine_with_running_copy(*, scheduler=None, sanitize=False):
+    """An engine mid-simulation with exactly one live copy placed."""
+    cluster = homogeneous_cluster(2, Resources.of(8, 16))
+    job = make_single_task_job(theta=50.0)
+    engine = SimulationEngine(
+        cluster, scheduler or FIFOScheduler(), [job], sanitize=sanitize
+    )
+    engine._process_arrival(job)
+    task = job.phases[0].tasks[0]
+    copy = engine.launch_copy(task, cluster[0])
+    return engine, task, copy
+
+
+def kinds(violations):
+    return {v.kind for v in violations}
+
+
+class TestCleanState:
+    def test_no_violations_right_after_launch(self):
+        engine, _, _ = engine_with_running_copy()
+        sanitizer = SimulationSanitizer(engine)
+        assert sanitizer.check() == []
+
+    def test_after_event_passes_on_clean_state(self):
+        engine, _, _ = engine_with_running_copy()
+        SimulationSanitizer(engine).after_event("LAUNCH @ t=0")
+
+
+class TestCapacityConservation:
+    def test_phantom_allocation_detected(self):
+        engine, _, copy = engine_with_running_copy()
+        server = engine.cluster[0]
+        # A lost release: allocation grows without a resident copy.
+        server._allocated = server._allocated + Resources.of(1, 2)
+        server._mirror.update(server)  # keep the mirror coherent on purpose
+        violations = SimulationSanitizer(engine).check("corrupt")
+        assert InvariantKind.CAPACITY_CONSERVATION in kinds(violations)
+        v = next(
+            v for v in violations if v.kind is InvariantKind.CAPACITY_CONSERVATION
+        )
+        assert v.server_id == 0
+
+    def test_double_release_detected(self):
+        engine, task, copy = engine_with_running_copy()
+        # Buggy cleanup path: the server releases the copy while the
+        # engine still counts it live and expects its finish event.
+        engine.cluster[0].release(copy)
+        violations = SimulationSanitizer(engine).check("double release")
+        assert InvariantKind.CAPACITY_CONSERVATION in kinds(violations)
+        v = next(
+            v for v in violations if v.kind is InvariantKind.CAPACITY_CONSERVATION
+        )
+        assert v.task_uid == task.uid
+        assert "released" in v.message
+
+    def test_dead_copy_still_resident_detected(self):
+        engine, task, copy = engine_with_running_copy()
+        # Mark the copy dead without releasing its reservation.
+        copy.killed = True
+        violations = SimulationSanitizer(engine).check("leak")
+        assert InvariantKind.CAPACITY_CONSERVATION in kinds(violations)
+
+
+class TestMirrorCoherence:
+    def test_mutated_mirror_array_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        engine.cluster.mirror.avail_cpu[1] += 2.0
+        violations = SimulationSanitizer(engine).check("mirror poke")
+        assert kinds(violations) == {InvariantKind.MIRROR_COHERENCE}
+        v = violations[0]
+        assert v.server_id == 1
+        assert "avail_cpu" in v.message
+
+    def test_stale_mirror_after_direct_server_write_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        server = engine.cluster[1]
+        server._available = Resources.of(1, 1)  # mirror not notified
+        violations = SimulationSanitizer(engine).check("stale")
+        assert InvariantKind.MIRROR_COHERENCE in kinds(violations)
+
+
+class TestNegativeAvailability:
+    def test_negative_available_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        server = engine.cluster[1]
+        cap = server.capacity
+        # Conservation-preserving corruption: only the sign check fires
+        # on the server itself (plus mirror staleness).
+        server._available = Resources.of(-1.0, cap.mem + 1.0)
+        server._allocated = Resources.of(cap.cpu + 1.0, -1.0)
+        server._mirror.update(server)
+        violations = SimulationSanitizer(engine).check("negative")
+        assert InvariantKind.NEGATIVE_AVAILABILITY in kinds(violations)
+
+
+class TestCloneBound:
+    def test_exceeding_clone_cap_detected(self):
+        engine, task, _ = engine_with_running_copy(
+            scheduler=DollyMPScheduler(max_clones=2)
+        )
+        # DollyMP² allows 3 live copies; launch 3 more clones = 4 live.
+        for _ in range(3):
+            engine.launch_copy(task, engine.cluster[1], clone=True)
+        violations = SimulationSanitizer(engine).check("over-cloned")
+        assert InvariantKind.CLONE_BOUND in kinds(violations)
+        v = next(v for v in violations if v.kind is InvariantKind.CLONE_BOUND)
+        assert v.task_uid == task.uid
+        assert "4 live copies" in v.message
+
+    def test_cap_within_bound_is_clean(self):
+        engine, task, _ = engine_with_running_copy(
+            scheduler=DollyMPScheduler(max_clones=2)
+        )
+        for _ in range(2):
+            engine.launch_copy(task, engine.cluster[1], clone=True)
+        assert SimulationSanitizer(engine).check() == []
+
+    def test_corrupted_live_counter_detected(self):
+        engine, task, _ = engine_with_running_copy()
+        task._live_count += 1
+        violations = SimulationSanitizer(engine).check("counter")
+        assert InvariantKind.CLONE_BOUND in kinds(violations)
+
+    def test_cap_inferred_from_policy(self):
+        engine, _, _ = engine_with_running_copy(
+            scheduler=DollyMPScheduler(max_clones=1)
+        )
+        assert SimulationSanitizer(engine).max_copies == 2
+
+
+class TestTimeMonotonicity:
+    def test_backwards_time_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        sanitizer = SimulationSanitizer(engine)
+        engine.now = 10.0
+        assert sanitizer.check("t=10") == []
+        engine.now = 5.0
+        violations = sanitizer.check("t=5")
+        assert kinds(violations) == {InvariantKind.TIME_MONOTONICITY}
+
+
+class TestEngineIntegration:
+    def test_after_event_raises_structured_error(self):
+        engine, _, _ = engine_with_running_copy()
+        engine.cluster.mirror.alloc_mem[0] = 99.0
+        sanitizer = SimulationSanitizer(engine)
+        with pytest.raises(SanitizerError) as excinfo:
+            sanitizer.after_event("COPY_FINISH @ t=42")
+        err = excinfo.value
+        assert err.violations
+        assert "mirror-coherence" in str(err)
+        assert "COPY_FINISH @ t=42" in str(err)
+
+    def test_engine_raises_mid_run_on_corruption(self):
+        """A scheduler that corrupts the mirror is caught on the very
+        next event, with the event named in the report."""
+
+        class CorruptingScheduler(FIFOScheduler):
+            def schedule(self, view):
+                super().schedule(view)
+                view.cluster.mirror.avail_cpu[0] = 1234.5
+
+        cluster = homogeneous_cluster(2, Resources.of(8, 16))
+        job = make_single_task_job(theta=10.0)
+        engine = SimulationEngine(
+            cluster, CorruptingScheduler(), [job], sanitize=True
+        )
+        with pytest.raises(SanitizerError) as excinfo:
+            engine.run()
+        assert any(
+            v.kind is InvariantKind.MIRROR_COHERENCE for v in excinfo.value.violations
+        )
+
+    def test_sanitize_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cluster = homogeneous_cluster(2, Resources.of(8, 16))
+        engine = SimulationEngine(
+            cluster, FIFOScheduler(), [make_single_task_job(theta=5.0)]
+        )
+        assert engine.sanitizer is not None
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        engine = SimulationEngine(
+            cluster := homogeneous_cluster(2, Resources.of(8, 16)),
+            FIFOScheduler(),
+            [make_single_task_job(theta=5.0)],
+        )
+        assert engine.sanitizer is None
+
+    def test_dollymp_end_to_end_clean_under_sanitizer(self, monkeypatch):
+        """The paper's scheduler passes every invariant on a stochastic
+        multi-phase workload with cloning enabled (REPRO_SANITIZE=1)."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cluster = homogeneous_cluster(4, Resources.of(8, 16))
+        jobs = [
+            make_chain_job(
+                2, 6, theta=20.0, sigma=10.0, arrival_time=15.0 * i, job_id=i
+            )
+            for i in range(4)
+        ]
+        result = run_simulation(
+            cluster, DollyMPScheduler(max_clones=2), jobs, seed=11
+        )
+        assert result.num_jobs == 4
+        for job in jobs:
+            for phase in job.phases:
+                for task in phase.tasks:
+                    assert task.state is TaskState.FINISHED

@@ -1,0 +1,37 @@
+"""repro-lint: repo-specific static analysis for scheduler correctness.
+
+The simulator's guarantees (bit-identical vectorized/scalar placement,
+reproducible straggler draws, exact capacity conservation) rest on
+coding invariants that ordinary linters cannot see.  ``repro-lint``
+checks them mechanically:
+
+========  ==============================================================
+RL001     capacity bookkeeping is written only by its owners
+          (``cluster/server.py`` and ``cluster/mirror.py``)
+RL002     no unseeded or legacy global randomness — RNGs are threaded
+          as explicit ``numpy.random.Generator`` objects
+RL003     no ``==``/``!=`` on resource/time floats in decision code —
+          use the ``EPS`` tolerance idiom
+RL004     no wall-clock reads inside simulation logic
+RL005     no literal ``1e-9`` epsilon redefinitions — import the single
+          canonical ``repro.resources.EPS``
+RL006     no iteration over unordered collections in scheduling
+          decision loops without an explicit sort
+========  ==============================================================
+
+Run it from the repository root::
+
+    python -m tools.repro_lint src tests benchmarks
+
+Exit status is non-zero when violations are found; each is reported as
+``path:line:col: RLxxx message``.  Per-rule ignore globs live in
+``[tool.repro-lint]`` in ``pyproject.toml``; a single line can be
+exempted with ``# repro-lint: ignore[RL003]`` (or a bare
+``# repro-lint: ignore`` for all rules).
+"""
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.engine import Violation, lint_file, lint_paths
+from tools.repro_lint.rules import ALL_RULES
+
+__all__ = ["ALL_RULES", "LintConfig", "Violation", "lint_file", "lint_paths"]

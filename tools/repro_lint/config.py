@@ -1,0 +1,57 @@
+"""Configuration for repro-lint.
+
+Read from the ``[tool.repro-lint]`` table of ``pyproject.toml``::
+
+    [tool.repro-lint]
+    exclude = ["tests/devtools/fixtures/*"]          # all rules
+
+    [tool.repro-lint.ignore]
+    RL002 = ["tests/*", "benchmarks/*"]              # per-rule globs
+
+Globs are ``fnmatch`` patterns matched against the POSIX path of each
+file relative to the lint root (``*`` crosses ``/``, so ``tests/*``
+covers the whole subtree).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+__all__ = ["LintConfig"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-rule and global ignore globs."""
+
+    exclude: tuple[str, ...] = ()
+    ignore: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @staticmethod
+    def empty() -> "LintConfig":
+        return LintConfig()
+
+    @staticmethod
+    def load(root: Path) -> "LintConfig":
+        """Config from ``<root>/pyproject.toml`` (empty when absent)."""
+        pyproject = root / "pyproject.toml"
+        if not pyproject.is_file():
+            return LintConfig()
+        table = tomllib.loads(pyproject.read_text()).get("tool", {}).get(
+            "repro-lint", {}
+        )
+        exclude = tuple(table.get("exclude", ()))
+        ignore = {
+            rule: tuple(globs) for rule, globs in table.get("ignore", {}).items()
+        }
+        return LintConfig(exclude=exclude, ignore=ignore)
+
+    # ------------------------------------------------------------------
+    def is_excluded(self, relpath: str) -> bool:
+        return any(fnmatch(relpath, pat) for pat in self.exclude)
+
+    def is_ignored(self, rule_id: str, relpath: str) -> bool:
+        return any(fnmatch(relpath, pat) for pat in self.ignore.get(rule_id, ()))

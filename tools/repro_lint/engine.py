@@ -1,0 +1,132 @@
+"""File walking, suppression handling and reporting for repro-lint."""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.rules import ALL_RULES, FileContext, build_import_map
+
+__all__ = ["Violation", "lint_file", "lint_paths", "main"]
+
+#: `# repro-lint: ignore` waives every rule on the line;
+#: `# repro-lint: ignore[RL003,RL005]` waives the listed rules only.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    relpath: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.relpath}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suppressed_rules(source_line: str) -> frozenset[str] | None:
+    """Rules waived on this line; empty frozenset means *all* rules;
+    ``None`` means no suppression comment."""
+    m = _SUPPRESS_RE.search(source_line)
+    if m is None:
+        return None
+    if m.group(1) is None:
+        return frozenset()
+    return frozenset(r.strip() for r in m.group(1).split(",") if r.strip())
+
+
+def lint_file(
+    path: Path, root: Path, config: LintConfig | None = None
+) -> list[Violation]:
+    """Lint one file; returns the surviving (non-suppressed) violations."""
+    config = config if config is not None else LintConfig.empty()
+    relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    if config.is_excluded(relpath):
+        return []
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                "RL000", relpath, exc.lineno or 1, exc.offset or 0,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = FileContext(relpath=relpath, imports=build_import_map(tree))
+    out: list[Violation] = []
+    for rule in ALL_RULES:
+        if not rule.applies_to(relpath) or config.is_ignored(rule.rule_id, relpath):
+            continue
+        for finding in rule.check(tree, ctx):
+            line_text = lines[finding.line - 1] if finding.line <= len(lines) else ""
+            waived = _suppressed_rules(line_text)
+            if waived is not None and (not waived or rule.rule_id in waived):
+                continue
+            out.append(
+                Violation(rule.rule_id, relpath, finding.line, finding.col, finding.message)
+            )
+    out.sort(key=lambda v: (v.relpath, v.line, v.col, v.rule))
+    return out
+
+
+def _iter_python_files(target: Path) -> Iterable[Path]:
+    if target.is_file():
+        if target.suffix == ".py":
+            yield target
+        return
+    yield from sorted(p for p in target.rglob("*.py") if p.is_file())
+
+
+def lint_paths(
+    targets: Sequence[Path | str],
+    root: Path | str | None = None,
+    config: LintConfig | None = None,
+) -> list[Violation]:
+    """Lint every ``.py`` file under the targets.
+
+    ``root`` anchors relative paths for rule scoping and config globs
+    (default: the current working directory).  ``config`` defaults to
+    the ``[tool.repro-lint]`` table of ``<root>/pyproject.toml``.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    if config is None:
+        config = LintConfig.load(root)
+    violations: list[Violation] = []
+    for target in targets:
+        for path in _iter_python_files(Path(target)):
+            violations.extend(lint_file(path, root, config))
+    violations.sort(key=lambda v: (v.relpath, v.line, v.col, v.rule))
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--list-rules" in args:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    targets = [a for a in args if not a.startswith("-")] or ["src", "tests", "benchmarks"]
+    missing = [t for t in targets if not Path(t).exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    violations = lint_paths(targets)
+    for v in violations:
+        print(v)
+    if violations:
+        print(
+            f"repro-lint: {len(violations)} violation(s) in "
+            f"{len({v.relpath for v in violations})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
