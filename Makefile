@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check lint test smoke bench-check
+.PHONY: check lint test smoke replay-smoke bench-check
 
-check: lint test smoke bench-check
+check: lint test smoke replay-smoke bench-check
 
 lint:
 	$(PYTHON) -m tools.repro_lint src tests benchmarks
@@ -17,6 +17,9 @@ test:
 
 smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.devtools.smoke
+
+replay-smoke:
+	$(PYTHON) -m repro.devtools.replay_smoke
 
 bench-check:
 	$(PYTHON) -m benchmarks.check_regression

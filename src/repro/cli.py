@@ -8,6 +8,17 @@ Examples::
     python -m repro trace --jobs 100 --out /tmp/trace.json
     python -m repro replay /tmp/trace.json --scheduler dollymp2 --servers 100
 
+Decision traces (the action protocol of DESIGN.md §5.3)::
+
+    python -m repro trace record --scheduler dollymp2 --app mixed \\
+        --jobs 20 --out /tmp/decisions.jsonl
+    python -m repro trace replay /tmp/decisions.jsonl
+
+``trace record`` journals every scheduler decision of a run to JSONL;
+``trace replay`` re-executes the journal against a freshly rebuilt
+cluster/workload and verifies the per-job flow times are bit-identical
+to the recorded run (exit status 1 on divergence).
+
 The CLI mirrors the public API; every knob maps to a documented
 constructor argument.
 """
@@ -34,7 +45,9 @@ from repro.schedulers.graphene import GrapheneScheduler
 from repro.schedulers.srpt import SRPTScheduler
 from repro.schedulers.svf import SVFScheduler
 from repro.schedulers.tetris import TetrisScheduler
-from repro.sim.runner import run_simulation
+from repro.sim.actions import DecisionTrace
+from repro.sim.replay import ReplayDivergence, replay_trace
+from repro.sim.runner import run_recorded, run_simulation
 from repro.workload.google_trace import (
     GoogleTraceGenerator,
     jobs_from_specs,
@@ -139,11 +152,90 @@ def cmd_compare(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.out is None:
+        raise SystemExit("trace: --out is required")
     gen = GoogleTraceGenerator(seed=args.seed)
     specs = gen.generate(args.jobs, mean_interarrival=args.gap)
     save_trace(specs, args.out)
     total = sum(s.num_tasks() for s in specs)
     print(f"wrote {len(specs)} jobs / {total} tasks to {args.out}")
+    return 0
+
+
+def cmd_trace_record(args) -> int:
+    jobs = make_app_jobs(args.app, args.jobs, args.gap, args.input_gb)
+    result, trace = run_recorded(
+        make_cluster(args.cluster, args.seed),
+        make_scheduler(args.scheduler),
+        jobs,
+        seed=args.seed,
+        schedule_interval=args.slot,
+    )
+    # Self-describing provenance: enough to rebuild the exact workload
+    # and cluster, plus the recorded outcome to verify a replay against.
+    trace.meta["workload"] = {
+        "scheduler": args.scheduler,
+        "app": args.app,
+        "jobs": args.jobs,
+        "gap": args.gap,
+        "input_gb": args.input_gb,
+        "cluster": args.cluster,
+    }
+    trace.meta["expected"] = {
+        "flowtimes": [[r.job_id, r.flowtime] for r in result.records],
+        "clones_launched": result.clones_launched,
+        "copies_launched": result.copies_launched,
+    }
+    trace.dump_jsonl(args.out)
+    print(
+        f"recorded {len(trace)} decisions ({result.copies_launched} copies, "
+        f"{result.clones_launched} clones) from {args.scheduler} over "
+        f"{len(result.records)} jobs -> {args.out}"
+    )
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    trace = DecisionTrace.load_jsonl(args.trace)
+    workload = trace.meta.get("workload")
+    if workload is None:
+        raise SystemExit(
+            f"{args.trace}: no workload provenance in the trace header — "
+            "was it recorded with `python -m repro trace record`?"
+        )
+    seed = int(trace.meta["seed"])
+    jobs = make_app_jobs(
+        workload["app"], int(workload["jobs"]), float(workload["gap"]),
+        float(workload["input_gb"]),
+    )
+    try:
+        result = replay_trace(trace, make_cluster(workload["cluster"], seed), jobs)
+    except ReplayDivergence as exc:
+        print(f"replay DIVERGED: {exc}", file=sys.stderr)
+        return 1
+    expected = trace.meta.get("expected", {})
+    got = [[r.job_id, r.flowtime] for r in result.records]
+    # Bit-for-bit: JSON round-trips floats exactly (shortest-repr), so
+    # equality here is the determinism oracle, not a tolerance check.
+    failures = []
+    if got != expected.get("flowtimes"):
+        failures.append("per-job flow times")
+    for key, have in (
+        ("clones_launched", result.clones_launched),
+        ("copies_launched", result.copies_launched),
+    ):
+        if expected.get(key) != have:
+            failures.append(key)
+    if failures:
+        print(
+            f"replay DIVERGED from the recorded run: {', '.join(failures)} differ",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"replayed {len(trace)} decisions over {len(result.records)} jobs: "
+        "bit-identical to the recorded run"
+    )
     return 0
 
 
@@ -186,12 +278,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("trace", help="generate a synthetic Google-like trace file")
+    p = sub.add_parser(
+        "trace",
+        help="workload-trace generation, or record/replay of decision traces",
+    )
     p.add_argument("--jobs", type=int, default=100)
     p.add_argument("--gap", type=float, default=20.0)
-    p.add_argument("--out", required=True)
+    p.add_argument("--out")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_trace)
+    tsub = p.add_subparsers(dest="trace_command")
+
+    tp = tsub.add_parser(
+        "record", help="run a simulation and journal every scheduler decision"
+    )
+    tp.add_argument("--scheduler", default="dollymp2")
+    tp.add_argument("--app", default="mixed")
+    tp.add_argument("--jobs", type=int, default=20)
+    tp.add_argument("--gap", type=float, default=20.0)
+    tp.add_argument("--input-gb", type=float, default=4.0)
+    tp.add_argument("--out", required=True, help="decision-trace JSONL path")
+    _add_common(tp)
+    tp.set_defaults(func=cmd_trace_record)
+
+    tp = tsub.add_parser(
+        "replay",
+        help="re-execute a recorded decision trace and verify bit-identity",
+    )
+    tp.add_argument("trace", help="decision-trace JSONL from `trace record`")
+    tp.set_defaults(func=cmd_trace_replay)
 
     p = sub.add_parser("replay", help="replay a trace file under a scheduler")
     p.add_argument("trace")

@@ -19,6 +19,11 @@ Design facts from the paper:
 
 ``delay_assignment_map`` implements the Sec. 5.2 policy for wiring the
 outputs of upstream copies to downstream clones.
+
+This module only *decides* (may_clone / budget_remaining); the actual
+clone launches are emitted by the placement loops as typed
+:class:`~repro.sim.actions.Launch` actions with ``clone=True``, so
+every cloning decision lands in the engine's replayable journal.
 """
 
 from __future__ import annotations

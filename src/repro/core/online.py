@@ -17,6 +17,12 @@ Scheduling logic, in the paper's order:
    task fits, leftover resources host clones, in the same priority
    order, at most ``max_clones`` extra copies per task, subject to the
    δ clone budget (Sec. 4.1's small-jobs-first rule).
+
+All placements flow through the action protocol (the packing helpers
+emit :class:`~repro.sim.actions.Launch` actions via ``view.apply``), so
+a DollyMP run can be journaled and replayed bit-identically — the
+oracle used to compare the policies of Sec. 6 over identical straggler
+realizations.
 """
 
 from __future__ import annotations

@@ -12,7 +12,10 @@ easily lead to stragglers."  This module implements that extension:
   enough samples accumulated.
 * :class:`LearningDollyMPScheduler` — DollyMP with placement scores
   down-weighted by the learned slowdown, so new tasks and clones avoid
-  servers currently identified as straggler-prone.
+  servers currently identified as straggler-prone.  The tracker only
+  *reads* finished tasks and steers scores; every actual placement
+  still flows through the action protocol inherited from DollyMP, so
+  learning runs record and replay like any other policy.
 
 The ablation benchmark ``benchmarks/test_ablation_learning.py``
 quantifies the benefit on a cluster with drifting per-server slowdowns.

@@ -12,6 +12,11 @@ level are treated equally — the SRPT/SVF balance at the heart of DollyMP
 The level count g = log₂(Σv / (1 − max_j d_j)) comes from the paper's
 completion-time argument (Sec. 4.2.1); we additionally round up so the
 last level can hold every job, which the argument presumes.
+
+This computation is pure (measures in, priority levels out) and holds
+no engine references: the scheduling layer turns the resulting order
+into :class:`~repro.sim.actions.Launch` actions, keeping Algorithm 1
+itself trivially compatible with trace recording and replay.
 """
 
 from __future__ import annotations

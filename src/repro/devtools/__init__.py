@@ -6,6 +6,10 @@
 * :mod:`repro.devtools.smoke` — a small deterministic DollyMP run used
   by CI as the sanitizer-enabled smoke test
   (``python -m repro.devtools.smoke``).
+* :mod:`repro.devtools.replay_smoke` — the replay-determinism smoke:
+  records a DollyMP run's decision trace, JSONL round-trips it, replays
+  it against a fresh cluster and diffs the results bit-for-bit
+  (``python -m repro.devtools.replay_smoke``).
 
 The static half of the tooling lives outside the package in
 ``tools/repro_lint`` so that importing ``repro`` never pulls it in.

@@ -1,0 +1,72 @@
+"""Replay-determinism smoke (CI gate, DESIGN.md §5.3).
+
+Records a representative DollyMP² simulation — the paper's 30-node
+heterogeneous cluster, mixed WordCount/PageRank jobs, cloning enabled —
+with the runtime sanitizer on, round-trips the decision trace through
+its JSONL serialization, replays it against a freshly built cluster and
+workload, and diffs the two :class:`SimulationResult`\\ s bit-for-bit.
+Any divergence (a hidden-state dependence, a serialization lossiness, a
+decision-point misalignment) exits non-zero with the first differing
+quantity named.
+
+Run:  PYTHONPATH=src python -m repro.devtools.replay_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.core.online import DollyMPScheduler
+from repro.sim.actions import DecisionTrace
+from repro.sim.replay import ReplayDivergence, assert_replay_identical, replay_trace
+from repro.sim.runner import run_recorded
+from repro.workload.mapreduce import pagerank_job, wordcount_job
+
+__all__ = ["main"]
+
+
+def _make_jobs():
+    jobs = []
+    for i in range(8):
+        if i % 2 == 0:
+            jobs.append(wordcount_job(4.0, arrival_time=45.0 * i, job_id=i))
+        else:
+            jobs.append(pagerank_job(1.0, arrival_time=45.0 * i, job_id=i))
+    return jobs
+
+
+def main() -> int:
+    result, trace = run_recorded(
+        paper_cluster_30_nodes(),
+        DollyMPScheduler(max_clones=2),
+        _make_jobs(),
+        seed=7,
+        sanitize=True,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "decisions.jsonl"
+        trace.dump_jsonl(path)
+        loaded = DecisionTrace.load_jsonl(path)
+    if loaded.decisions != trace.decisions:
+        print("replay-smoke: JSONL round-trip mutated the trace", file=sys.stderr)
+        return 1
+    try:
+        replayed = replay_trace(
+            loaded, paper_cluster_30_nodes(), _make_jobs(), sanitize=True
+        )
+        assert_replay_identical(result, replayed)
+    except ReplayDivergence as exc:
+        print(f"replay-smoke: DIVERGED — {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"replay-smoke: {len(trace)} decisions over {len(result.records)} jobs "
+        f"({result.clones_launched} clones) replayed bit-identically"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

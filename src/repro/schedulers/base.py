@@ -2,10 +2,16 @@
 
 A scheduler receives a :class:`~repro.sim.engine.ClusterView` at each
 scheduling opportunity (job arrival, task completion or slot tick,
-depending on the engine mode) and places task copies through it.  The
-view exposes the cluster state and the set of active (arrived, not yet
-finished) jobs; ``view.launch`` performs a placement, enforcing the
-capacity constraint of Eq. (5).
+depending on the engine mode) and emits typed decisions through it: a
+:class:`~repro.sim.actions.Launch` or :class:`~repro.sim.actions.Kill`
+action submitted via ``view.apply`` (or the ``view.launch`` /
+``view.kill`` conveniences, which build the same actions).  The view
+exposes the cluster state and the set of active (arrived, not yet
+finished) jobs; the engine validates every action against the capacity
+constraint of Eq. (5) before applying it, and journals it for
+deterministic replay (DESIGN.md §5.3).  Policy code must not mutate
+engine or cluster state any other way — repro-lint rule RL007 enforces
+this mechanically.
 
 Schedulers are stateful across calls (e.g. DollyMP caches job priorities
 between arrivals) and are notified of arrivals/finishes via hooks.
@@ -41,8 +47,8 @@ class Scheduler(abc.ABC):
 
     @abc.abstractmethod
     def schedule(self, view: "ClusterView") -> None:
-        """Place task copies via ``view.launch`` until nothing more fits
-        (or the policy chooses to stop)."""
+        """Emit ``Launch`` actions via ``view.apply``/``view.launch``
+        until nothing more fits (or the policy chooses to stop)."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

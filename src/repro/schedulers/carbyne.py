@@ -23,6 +23,7 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.drf import DRFScheduler
 from repro.schedulers.packing import fill_tasks_best_fit, next_pending_task, pending_by_phase
 from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
+from repro.sim.actions import Launch
 from repro.workload.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -70,7 +71,7 @@ class CarbyneScheduler(Scheduler):
             if server is None:
                 blocked.add(jid)
                 continue
-            view.launch(task, server)
+            view.apply(Launch(task, server))
             shares[jid] = share + task.demand.dominant_share(total)
             heapq.heappush(heap, (shares[jid], jid))
 

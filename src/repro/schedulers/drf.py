@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.schedulers.base import Scheduler
 from repro.schedulers.packing import next_pending_task
 from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
+from repro.sim.actions import Launch
 from repro.workload.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,7 +75,7 @@ class DRFScheduler(Scheduler):
                 # pass availability only shrinks, so drop the job.
                 blocked.add(jid)
                 continue
-            view.launch(task, server)
+            view.apply(Launch(task, server))
             shares[jid] = share + task.demand.dominant_share(total) / self.weight_of(job)
             heapq.heappush(heap, (shares[jid], jid))
         self.speculation.launch_backups(view, jobs)

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Mapping
 from repro.schedulers.base import Scheduler
 from repro.schedulers.packing import fill_tasks_best_fit, next_pending_task, pending_by_phase
 from repro.schedulers.speculation import LATESpeculation, NoSpeculation, SpeculationPolicy
+from repro.sim.actions import Launch
 from repro.workload.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -110,7 +111,7 @@ class CapacityScheduler(FIFOScheduler):
                 if server is None:
                     blocked.add(job.job_id)
                     continue
-                view.launch(task, server)
+                view.apply(Launch(task, server))
                 usage[job.user] = usage.get(job.user, 0.0) + task.demand.dominant_share(
                     total
                 )

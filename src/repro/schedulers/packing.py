@@ -1,5 +1,10 @@
 """Shared placement loops: best-fit task filling and clone filling.
 
+Placements are emitted as typed :class:`~repro.sim.actions.Launch`
+actions through ``view.apply`` (the action protocol of DESIGN.md §5.3),
+so every launch these loops perform is validated, journaled and
+replayable by the engine.
+
 Both DollyMP (Alg. 2, steps 9–15) and the Tetris-style baselines place
 one task at a time, choosing among equally-prioritized candidates the
 (task, server) pair maximizing the resource-fit inner product
@@ -30,6 +35,7 @@ import numpy as np
 
 from repro.cluster.server import Server
 from repro.resources import EPS
+from repro.sim.actions import Launch
 from repro.workload.phase import Phase
 from repro.workload.task import Task, TaskState
 
@@ -179,7 +185,7 @@ def _fill_tasks_vectorized(
             break  # nothing placeable remains
         task = queues[ci].pop()
         server = servers[sj]
-        view.launch(task, server)
+        view.apply(Launch(task, server))
         if on_launch is not None:
             on_launch(task, server)
         launched += 1
@@ -231,7 +237,7 @@ def _fill_tasks_scalar(
         task = best.queue.pop()
         server = best.best_server
         assert server is not None
-        view.launch(task, server)
+        view.apply(Launch(task, server))
         if on_launch is not None:
             on_launch(task, server)
         launched += 1
@@ -278,7 +284,7 @@ def fill_clones_best_fit(
         if server is None:
             unfittable.add(key)
             continue
-        view.launch(task, server, clone=True)
+        view.apply(Launch(task, server, clone=True))
         if on_launch is not None:
             on_launch(task, server)
         launched += 1

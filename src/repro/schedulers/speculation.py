@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING
 
+from repro.sim.actions import Launch
 from repro.workload.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,7 +44,7 @@ class SpeculationPolicy(abc.ABC):
             server = view.cluster.best_fit_server(task.demand)
             if server is None:
                 continue
-            view.launch(task, server, clone=True)
+            view.apply(Launch(task, server, clone=True))
             launched += 1
         return launched
 

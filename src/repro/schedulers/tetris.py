@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 from repro.resources import EPS
 from repro.schedulers.base import Scheduler
 from repro.schedulers.speculation import NoSpeculation, SpeculationPolicy
+from repro.sim.actions import Launch
 from repro.workload.job import Job
 from repro.workload.phase import Phase
 from repro.workload.task import Task, TaskState
@@ -116,7 +117,7 @@ class TetrisScheduler(Scheduler):
             task = best.queue.pop()
             server = best.best_server
             assert server is not None
-            view.launch(task, server)
+            view.apply(Launch(task, server))
             for c in cands:
                 if c.best_server is server:
                     self._rescore(c, cluster)

@@ -1,11 +1,34 @@
-"""Discrete-event cluster simulator: engine, events, metrics, runner."""
+"""Discrete-event cluster simulator: engine, events, actions, metrics,
+runner, and the trace-replay determinism oracle."""
 
+from repro.sim.actions import (
+    Action,
+    Decision,
+    DecisionTrace,
+    InvalidAction,
+    Kill,
+    Launch,
+    TraceLimitExceeded,
+)
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.engine import SimulationEngine, ClusterView
 from repro.sim.metrics import JobRecord, SimulationResult
-from repro.sim.runner import run_simulation
+from repro.sim.replay import (
+    ReplayDivergence,
+    ReplayScheduler,
+    assert_replay_identical,
+    replay_trace,
+)
+from repro.sim.runner import run_recorded, run_simulation
 
 __all__ = [
+    "Action",
+    "Decision",
+    "DecisionTrace",
+    "InvalidAction",
+    "Kill",
+    "Launch",
+    "TraceLimitExceeded",
     "Event",
     "EventKind",
     "EventQueue",
@@ -13,5 +36,10 @@ __all__ = [
     "ClusterView",
     "JobRecord",
     "SimulationResult",
+    "ReplayDivergence",
+    "ReplayScheduler",
+    "assert_replay_identical",
+    "replay_trace",
+    "run_recorded",
     "run_simulation",
 ]

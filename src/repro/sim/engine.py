@@ -17,6 +17,17 @@ happen at slot boundaries, matching the trace-driven simulator of
 Sec. 6.3 ("the scheduling interval … to be 5 seconds"); with interval 0
 the engine schedules after every state-changing event, matching the
 event-driven YARN prototype.
+
+**Action protocol** (DESIGN.md §5.3): policies never mutate the cluster
+directly.  They emit typed :class:`~repro.sim.actions.Launch` /
+:class:`~repro.sim.actions.Kill` actions through ``view.apply`` (or the
+``view.launch`` / ``view.kill`` convenience wrappers), and the engine's
+single :meth:`SimulationEngine.apply` choke point validates each action
+*before* touching any state — including the duration RNG — applies it
+atomically, and (when recording) journals it as a
+:class:`~repro.sim.actions.Decision` in a bounded
+:class:`~repro.sim.actions.DecisionTrace`.  A recorded trace replays
+bit-identically via :mod:`repro.sim.replay`.
 """
 
 from __future__ import annotations
@@ -31,6 +42,14 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
 from repro.devtools.sanitizer import SimulationSanitizer, sanitize_default
 from repro.resources import Resources
+from repro.sim.actions import (
+    Action,
+    Decision,
+    DecisionTrace,
+    InvalidAction,
+    Kill,
+    Launch,
+)
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import SimulationResult, build_result
 from repro.workload.job import Job
@@ -45,8 +64,11 @@ __all__ = ["ClusterView", "SimulationEngine"]
 class ClusterView:
     """The scheduler's window into the simulation.
 
-    Exposes read access to time/cluster/jobs plus the two mutations a
-    scheduler may perform: launching a task copy and killing a copy.
+    Exposes read access to time/cluster/jobs plus one mutation channel:
+    :meth:`apply`, which submits a typed action to the engine's choke
+    point.  ``launch``/``kill`` are thin conveniences that build the
+    corresponding action — policy code must not reach past this facade
+    (enforced by repro-lint rule RL007).
     """
 
     def __init__(self, engine: "SimulationEngine") -> None:
@@ -77,12 +99,18 @@ class ClusterView:
         used by DollyMP's δ budget without rescanning the cluster)."""
         return self._engine.clone_occupancy
 
-    # -- mutations -------------------------------------------------------
+    # -- mutations: the action protocol ---------------------------------
+    def apply(self, action: Action) -> TaskCopy | None:
+        """Submit a typed action; returns the new copy for a Launch."""
+        return self._engine.apply(action)
+
     def launch(self, task: Task, server: Server, *, clone: bool = False) -> TaskCopy:
-        return self._engine.launch_copy(task, server, clone=clone)
+        copy = self._engine.apply(Launch(task, server, clone=clone))
+        assert copy is not None
+        return copy
 
     def kill(self, copy: TaskCopy) -> None:
-        self._engine.kill_copy(copy)
+        self._engine.apply(Kill(copy))
 
 
 class SimulationEngine:
@@ -99,6 +127,8 @@ class SimulationEngine:
         max_time: float = math.inf,
         max_copies_per_task: int | None = None,
         sanitize: bool | None = None,
+        record_trace: bool = False,
+        trace_maxlen: int | None = None,
     ) -> None:
         if schedule_interval < 0:
             raise ValueError("schedule_interval must be non-negative")
@@ -121,6 +151,17 @@ class SimulationEngine:
         self.active_jobs: dict[int, Job] = {}
         self.finished_jobs: list[Job] = []
         self.view = ClusterView(self)
+
+        # Decision journal (DESIGN.md §5.3).  `_decision_point` numbers
+        # scheduler entry points; `_decision_cause` names the event kind
+        # that opened the current one.  Both are metadata on recorded
+        # decisions and the alignment key the replay engine uses.
+        if trace_maxlen is None:
+            self.trace: DecisionTrace | None = DecisionTrace() if record_trace else None
+        else:
+            self.trace = DecisionTrace(maxlen=trace_maxlen) if record_trace else None
+        self._decision_point = 0
+        self._decision_cause = "init"
 
         # Accounting
         self.clones_launched = 0
@@ -160,16 +201,86 @@ class SimulationEngine:
                 raise ValueError(f"job {job.job_id}: negative arrival time")
 
     # ------------------------------------------------------------------
-    # Mutations used by ClusterView
+    # The action choke point
     # ------------------------------------------------------------------
-    def launch_copy(self, task: Task, server: Server, *, clone: bool = False) -> TaskCopy:
+    def apply(self, action: Action) -> TaskCopy | None:
+        """Validate, apply and journal one typed action.
+
+        The single mutation channel of the engine: every scheduler-
+        originated state change flows through here.  Validation runs
+        *before* any mutation (including the duration-RNG draw), so a
+        rejected action leaves the simulation bit-identical; a valid
+        action is applied atomically and, when recording, appended to
+        the decision trace with time/cause/policy metadata.
+        """
+        if isinstance(action, Launch):
+            self._validate_launch(action.task, action.server)
+            copy = self._apply_launch(action.task, action.server, clone=action.clone)
+            self._record(action.task, action.server.server_id, clone=copy.is_clone)
+            return copy
+        if isinstance(action, Kill):
+            copy = action.copy
+            self._validate_kill(copy)
+            self._apply_kill(copy)
+            self._record(
+                copy.task,
+                copy.server_id,
+                kind="kill",
+                copy_index=copy.task.copies.index(copy),
+            )
+            return None
+        raise TypeError(f"not an action: {action!r}")
+
+    def _record(
+        self,
+        task: Task,
+        server_id: int,
+        *,
+        kind: str = "launch",
+        clone: bool = False,
+        copy_index: int | None = None,
+    ) -> None:
+        if self.trace is None:
+            return
+        job_id, phase_index, task_index = task.uid
+        self.trace.append(
+            Decision(
+                seq=len(self.trace),
+                time=self.now,
+                point=self._decision_point,
+                cause=self._decision_cause,
+                policy=self.scheduler.name,
+                kind=kind,
+                job_id=job_id,
+                phase_index=phase_index,
+                task_index=task_index,
+                server_id=server_id,
+                clone=clone,
+                copy_index=copy_index,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Validation (raises InvalidAction before any state is touched)
+    # ------------------------------------------------------------------
+    def _validate_launch(self, task: Task, server: Server) -> None:
         job = task.job
+
+        def bad(message: str) -> InvalidAction:
+            return InvalidAction(
+                message,
+                kind="launch",
+                time=self.now,
+                task_uid=task.uid,
+                server_id=server.server_id,
+            )
+
         if job.job_id not in self.active_jobs:
-            raise RuntimeError(f"job {job.job_id} is not active at t={self.now:g}")
+            raise bad(f"job {job.job_id} is not active at t={self.now:g}")
         if task.state is TaskState.FINISHED:
-            raise RuntimeError(f"task {task.uid} already finished")
+            raise bad(f"task {task.uid} already finished")
         if not job.phase_ready(task.phase, self.now):
-            raise RuntimeError(
+            raise bad(
                 f"task {task.uid}: parent phases unfinished or shuffle "
                 f"delay pending (Eq. 7 violated)"
             )
@@ -177,14 +288,37 @@ class SimulationEngine:
             self.max_copies_per_task is not None
             and len(task.copies) >= self.max_copies_per_task
         ):
-            raise RuntimeError(
-                f"task {task.uid}: copy cap {self.max_copies_per_task} reached"
+            raise bad(f"task {task.uid}: copy cap {self.max_copies_per_task} reached")
+        if not server.can_fit(task.demand):
+            raise bad(
+                f"server {server.server_id}: cannot fit {task.demand} "
+                f"in {server.available}"
             )
+
+    def _validate_kill(self, copy: TaskCopy) -> None:
+        if copy.live:
+            return
+        state = "finished" if copy.finished else "killed"
+        raise InvalidAction(
+            f"kill of already-{state} copy {copy.task.uid}#"
+            f"{copy.task.copies.index(copy)} on server {copy.server_id} "
+            f"at t={self.now:g} — occupancy was already released",
+            kind="kill",
+            time=self.now,
+            task_uid=copy.task.uid,
+            copy_index=copy.task.copies.index(copy),
+            server_id=copy.server_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Appliers (assume validated input; used by apply() and internally)
+    # ------------------------------------------------------------------
+    def _apply_launch(self, task: Task, server: Server, *, clone: bool) -> TaskCopy:
         is_clone = clone or task.has_run
         self._account_until(self.now)
         duration = self._sample_duration(task, server)
         copy = TaskCopy(task, server.server_id, self.now, duration, is_clone=is_clone)
-        server.allocate(copy)  # raises if Eq. (5) would be violated
+        server.allocate(copy)  # re-checks Eq. (5) at the owner layer
         task.add_copy(copy)
         self.events.push(copy.finish_time, EventKind.COPY_FINISH, copy)
         self.copies_launched += 1
@@ -193,9 +327,7 @@ class SimulationEngine:
             self.clone_occupancy = self.clone_occupancy + task.demand
         return copy
 
-    def kill_copy(self, copy: TaskCopy) -> None:
-        if not copy.live:
-            return
+    def _apply_kill(self, copy: TaskCopy) -> None:
         self._account_until(self.now)
         copy.killed = True
         # Truncate the copy's charged duration to the time it ran; the
@@ -206,6 +338,15 @@ class SimulationEngine:
             self.clone_occupancy = (
                 self.clone_occupancy - copy.task.demand
             ).clamp_nonnegative()
+
+    # -- back-compat imperative entry points (thin action wrappers) -----
+    def launch_copy(self, task: Task, server: Server, *, clone: bool = False) -> TaskCopy:
+        copy = self.apply(Launch(task, server, clone=clone))
+        assert copy is not None
+        return copy
+
+    def kill_copy(self, copy: TaskCopy) -> None:
+        self.apply(Kill(copy))
 
     def _sample_duration(self, task: Task, server: Server) -> float:
         """Duration of one copy: a fresh draw from the phase's straggler
@@ -244,8 +385,15 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # Event processing
     # ------------------------------------------------------------------
+    def _open_decision_point(self, cause: str) -> None:
+        """A scheduler entry point is about to run: decisions applied
+        until the next one belong to this (ordinal, cause) opportunity."""
+        self._decision_point += 1
+        self._decision_cause = cause
+
     def _process_arrival(self, job: Job) -> None:
         self.active_jobs[job.job_id] = job
+        self._open_decision_point("job_arrival")
         self.scheduler.on_job_arrival(job, self.view)
 
     def _process_copy_finish(self, copy: TaskCopy) -> None:
@@ -260,16 +408,21 @@ class SimulationEngine:
             ).clamp_nonnegative()
         if task.state is TaskState.FINISHED:
             return  # another copy already won (equal-time tie)
-        # First copy wins: kill the rest and complete the task.
+        # First copy wins: kill the rest and complete the task.  These
+        # kills are engine consequences of the COPY_FINISH event, not
+        # scheduler decisions, so they bypass the journal (replay
+        # re-derives them from the same event).
         for other in task.copies:
             if other is not copy and other.live:
-                self.kill_copy(other)
+                self._apply_kill(other)
         task.complete(self.now)
+        self._open_decision_point("task_finish")
         self.scheduler.on_task_finish(task, self.view)
         job = task.job
         if job.mark_finished_if_done(self.now):
             del self.active_jobs[job.job_id]
             self.finished_jobs.append(job)
+            self._open_decision_point("job_finish")
             self.scheduler.on_job_finish(job, self.view)
         elif task.phase.is_finished:
             self._arm_delayed_children(job, task.phase)
@@ -288,6 +441,7 @@ class SimulationEngine:
                 self.events.push(ready_at, EventKind.SCHEDULE_TICK)
 
     def _run_schedule_pass(self) -> None:
+        self._open_decision_point("schedule")
         t0 = _wallclock.perf_counter()
         self.scheduler.schedule(self.view)
         self.schedule_pass_seconds.append(_wallclock.perf_counter() - t0)

@@ -10,6 +10,11 @@ when comparing schedulers on "the same" workload — see
 (``seeds=[...]``) and parallel execution (``workers=N``) so benchmark
 sweeps use all cores: each (scheduler, seed) combination is an
 independent simulation, dispatched through ``concurrent.futures``.
+
+``run_recorded`` is the journaling variant: same simulation, but every
+scheduler decision is recorded in a :class:`DecisionTrace` (DESIGN.md
+§5.3) that :func:`repro.sim.replay.replay_trace` can re-execute
+bit-identically against a fresh cluster/workload.
 """
 
 from __future__ import annotations
@@ -25,11 +30,12 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.schedulers.base import Scheduler
+from repro.sim.actions import DecisionTrace
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import SimulationResult
 from repro.workload.job import Job
 
-__all__ = ["run_simulation", "compare_schedulers"]
+__all__ = ["run_simulation", "run_recorded", "compare_schedulers"]
 
 
 def run_simulation(
@@ -61,6 +67,51 @@ def run_simulation(
         sanitize=sanitize,
     )
     return engine.run()
+
+
+def run_recorded(
+    cluster: Cluster,
+    scheduler: Scheduler,
+    jobs: Iterable[Job],
+    *,
+    seed: int = 0,
+    schedule_interval: float = 0.0,
+    max_time: float = math.inf,
+    sanitize: bool | None = None,
+    trace_maxlen: int | None = None,
+) -> tuple[SimulationResult, DecisionTrace]:
+    """Like :func:`run_simulation`, but journal every scheduler decision.
+
+    Returns ``(result, trace)``; the trace's ``meta`` records the seed,
+    slot interval and policy name so :func:`repro.sim.replay.replay_trace`
+    can re-execute it without re-stating the configuration.  Replaying
+    against a freshly rebuilt cluster/workload must reproduce ``result``
+    bit-for-bit (the determinism oracle of DESIGN.md §5.3).
+    """
+    engine = SimulationEngine(
+        cluster,
+        scheduler,
+        jobs,
+        seed=seed,
+        schedule_interval=schedule_interval,
+        max_time=max_time,
+        sanitize=sanitize,
+        record_trace=True,
+        trace_maxlen=trace_maxlen,
+    )
+    result = engine.run()
+    trace = engine.trace
+    assert trace is not None
+    trace.meta.update(
+        {
+            "policy": scheduler.name,
+            "seed": seed,
+            "schedule_interval": schedule_interval,
+            "num_jobs": len(result.records),
+            "num_decisions": len(trace),
+        }
+    )
+    return result, trace
 
 
 def _run_combo(

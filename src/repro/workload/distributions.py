@@ -150,8 +150,12 @@ class ParetoType1:
             raise ValueError(f"mean must be positive, got {mean}")
         if std <= 0:
             raise ValueError("std must be positive; use Deterministic for std == 0")
-        cv2 = (std / mean) ** 2
-        alpha = 1.0 + math.sqrt(1.0 + 1.0 / cv2)
+        t = (mean / std) ** 2  # = 1/cv² = α(α−2)
+        # α = 1 + sqrt(1 + t) squanders the significant bits of α − 2
+        # when t is tiny (huge cv), and the fitted variance depends on
+        # exactly that difference.  sqrt(1 + t) − 1 = t/(1 + sqrt(1 + t))
+        # computes the excess over 2 without cancellation.
+        alpha = 2.0 + t / (1.0 + math.sqrt(1.0 + t))
         x_m = mean * (alpha - 1.0) / alpha
         return ParetoType1(x_m, alpha)
 

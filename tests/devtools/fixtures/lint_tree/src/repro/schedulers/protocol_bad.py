@@ -1,0 +1,9 @@
+"""RL007 true positives: state mutation outside the action protocol."""
+
+
+def schedule(view, server, copy):
+    engine = view._engine                   # line 5: private backdoor
+    engine.now = 0.0                        # line 6: engine state store
+    view.cluster.servers[0].label = "mine"  # line 7: cluster state store
+    server.allocate(copy)                   # line 8: owner-layer mutator
+    engine.kill_copy(copy)                  # line 9: unjournaled kill

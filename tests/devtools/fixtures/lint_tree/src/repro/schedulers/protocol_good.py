@@ -1,0 +1,25 @@
+"""RL007 allowed idioms: typed actions through the view choke point."""
+
+
+def schedule(view, task, server, copy):
+    view.apply(make_launch(task, server))
+    view.apply(make_launch(task, server, clone=True))
+    view.apply(make_kill(copy))
+    view.launch(task, server)  # thin wrapper over apply: journaled
+    view.kill(copy)
+    total = view.cluster.total_capacity  # reads are fine
+    self_like = PolicyState()
+    self_like.cluster = total  # plain reference bind on policy state
+    return total
+
+
+class PolicyState:
+    cluster = None
+
+
+def make_launch(task, server, clone=False):
+    return (task, server, clone)
+
+
+def make_kill(copy):
+    return (copy,)

@@ -51,6 +51,7 @@ def rules_in(violations, filename):
         ("RL004", "sim/clock_bad.py", [8, 9]),
         ("RL005", "core/eps_bad.py", [3, 3, 7]),
         ("RL006", "schedulers/iter_bad.py", [5, 7, 9]),
+        ("RL007", "schedulers/protocol_bad.py", [5, 6, 7, 8, 9]),
     ],
 )
 def test_rule_flags_bad_fixture(fixture_violations, rule, filename, lines):
@@ -69,6 +70,7 @@ def test_rule_flags_bad_fixture(fixture_violations, rule, filename, lines):
         "sim/clock_good.py",  # perf_counter is an elapsed counter
         "resources.py",  # the canonical EPS home
         "schedulers/iter_good.py",  # sorted(...) with explicit keys
+        "schedulers/protocol_good.py",  # typed actions via view.apply
     ],
 )
 def test_allowed_idioms_not_flagged(fixture_violations, filename):
@@ -83,6 +85,7 @@ def test_no_cross_rule_noise(fixture_violations):
     assert rules_in(fixture_violations, "sim/clock_bad.py") == {"RL004"}
     assert rules_in(fixture_violations, "core/eps_bad.py") == {"RL005"}
     assert rules_in(fixture_violations, "schedulers/iter_bad.py") == {"RL006"}
+    assert rules_in(fixture_violations, "schedulers/protocol_bad.py") == {"RL007"}
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +131,7 @@ def test_cli_reports_violations_with_rule_ids_and_locations():
     proc = _run_cli(["src"], cwd=FIXTURE_ROOT)
     assert proc.returncode == 1
     assert "src/repro/cluster/bad_writes.py:5:" in proc.stdout
-    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
         assert rule in proc.stdout
 
 

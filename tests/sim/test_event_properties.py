@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for EventQueue tie-breaking.
+
+The replay oracle's decision-point alignment (DESIGN.md §5.3) assumes
+the event order is a deterministic total order: at equal timestamps the
+queue pops COPY_FINISH before JOB_ARRIVAL before SCHEDULE_TICK (the
+numeric order of :class:`EventKind`), and within one (time, kind)
+bucket events drain in push (FIFO) order via the monotone ``seq``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventKind, EventQueue
+
+#: Deliberately tiny time domain so timestamp ties are the common case.
+tie_times = st.sampled_from([0.0, 1.0, 1.5, 2.0])
+kinds = st.sampled_from(list(EventKind))
+pushes = st.lists(st.tuples(tie_times, kinds), max_size=60)
+
+
+def drain(q: EventQueue):
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+class TestEventQueueProperties:
+    @given(pushes)
+    @settings(max_examples=200, deadline=None)
+    def test_drain_is_stable_sort_by_time_then_kind(self, items):
+        """Pop order == stable sort of pushes keyed on (time, kind).
+
+        Stability of the sort *is* the FIFO-within-bucket guarantee: any
+        two events with equal (time, kind) keep their push order.
+        """
+        q = EventQueue()
+        for i, (t, k) in enumerate(items):
+            q.push(t, k, payload=i)
+        drained = drain(q)
+        expected = sorted(enumerate(items), key=lambda e: (e[1][0], e[1][1]))
+        assert [ev.payload for ev in drained] == [i for i, _ in expected]
+
+    @given(pushes)
+    @settings(max_examples=200, deadline=None)
+    def test_kind_priority_and_fifo_within_kind(self, items):
+        q = EventQueue()
+        for i, (t, k) in enumerate(items):
+            q.push(t, k, payload=i)
+        drained = drain(q)
+        for a, b in zip(drained, drained[1:]):
+            if a.time == b.time:
+                # COPY_FINISH < JOB_ARRIVAL < SCHEDULE_TICK, never regresses
+                assert a.kind <= b.kind
+                if a.kind == b.kind:
+                    assert a.payload < b.payload  # FIFO by push order
+            else:
+                assert a.time < b.time
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_interleaved_push_pop_matches_model(self, data):
+        """Pops interleaved with pushes still follow (time, kind, seq)."""
+        q = EventQueue()
+        model = []  # (time, kind, push-ordinal)
+        ordinal = 0
+        ops = data.draw(st.lists(st.sampled_from(["push", "pop"]), max_size=80))
+        for op in ops:
+            if op == "push" or not model:
+                t = data.draw(tie_times)
+                k = data.draw(kinds)
+                q.push(t, k, payload=ordinal)
+                model.append((t, k, ordinal))
+                ordinal += 1
+            else:
+                expect = min(model)
+                ev = q.pop()
+                assert (ev.time, ev.kind, ev.payload) == expect
+                model.remove(expect)
+        assert len(q) == len(model)

@@ -75,3 +75,52 @@ class TestCommands:
              "--jobs", "2", "--gap", "100", "--input-gb", "0.5", "--slot", "5"]
         )
         assert rc == 0
+
+    def test_trace_without_out_exits(self):
+        with pytest.raises(SystemExit, match="--out"):
+            main(["trace", "--jobs", "5"])
+
+
+class TestDecisionTraceCommands:
+    def _record(self, path, *extra):
+        return main(
+            ["trace", "record", "--scheduler", "dollymp2", "--app", "mixed",
+             "--jobs", "4", "--gap", "30", "--input-gb", "1",
+             "--cluster", "uniform:4x8x16", "--out", str(path), *extra]
+        )
+
+    def test_record_then_replay_bit_identical(self, tmp_path, capsys):
+        trace = tmp_path / "decisions.jsonl"
+        assert self._record(trace) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and str(trace) in out
+        assert trace.exists()
+
+        assert main(["trace", "replay", str(trace)]) == 0
+        assert "bit-identical to the recorded run" in capsys.readouterr().out
+
+    def test_replay_detects_tampering(self, tmp_path, capsys):
+        trace = tmp_path / "decisions.jsonl"
+        assert self._record(trace) == 0
+        capsys.readouterr()
+        # Corrupt the expected flow times in the header: the replayed
+        # run no longer matches, so the oracle must report divergence.
+        lines = trace.read_text().splitlines()
+        import json
+
+        header = json.loads(lines[0])
+        header["meta"]["expected"]["flowtimes"][0][1] += 1.0
+        lines[0] = json.dumps(header, sort_keys=True)
+        trace.write_text("\n".join(lines) + "\n")
+
+        assert main(["trace", "replay", str(trace)]) == 1
+        captured = capsys.readouterr()
+        assert "DIVERGED" in captured.err
+
+    def test_replay_requires_provenance(self, tmp_path):
+        from repro.sim.actions import DecisionTrace
+
+        bare = tmp_path / "bare.jsonl"
+        DecisionTrace(meta={"seed": 0}).dump_jsonl(bare)
+        with pytest.raises(SystemExit, match="provenance"):
+            main(["trace", "replay", str(bare)])

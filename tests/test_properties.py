@@ -82,7 +82,11 @@ class TestDistributionProperties:
     def test_pareto_moment_fit_roundtrip(self, mean, std):
         p = ParetoType1.from_moments(mean, std)
         assert math.isclose(p.mean, mean, rel_tol=1e-9)
-        assert math.isclose(p.std, std, rel_tol=1e-6)
+        # Huge cv drives α to 2 + O(cv⁻²); the stored float α then only
+        # resolves α − 2 (hence the variance) to ~ulp(2)·cv² relative,
+        # so widen the tolerance by that representation limit.
+        repr_limit = 4.5e-16 * (std / mean) ** 2
+        assert math.isclose(p.std, std, rel_tol=1e-6 + repr_limit)
         assert p.alpha > 2.0
 
     @given(

@@ -17,6 +17,9 @@ RL005     no literal ``1e-9`` epsilon redefinitions — import the single
           canonical ``repro.resources.EPS``
 RL006     no iteration over unordered collections in scheduling
           decision loops without an explicit sort
+RL007     scheduler/core policy code never touches ``view._engine`` or
+          writes engine/cluster state — all mutation flows through the
+          typed action protocol (``view.apply``)
 ========  ==============================================================
 
 Run it from the repository root::

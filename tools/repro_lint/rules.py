@@ -1,4 +1,4 @@
-"""The repro-lint rule catalog (RL001–RL006).
+"""The repro-lint rule catalog (RL001–RL007).
 
 Each rule is a module-level object with a ``rule_id``, a one-line
 ``summary``, an ``applies_to(relpath)`` scope predicate, and a
@@ -443,4 +443,107 @@ class _RL006:
         return None
 
 
-ALL_RULES = (_RL001(), _RL002(), _RL003(), _RL004(), _RL005(), _RL006())
+# ======================================================================
+# RL007 — policy code mutates state only through the action protocol
+# ======================================================================
+
+_RL007_DIRS = ("src/repro/schedulers/", "src/repro/core/")
+
+#: Mutators owned by the engine / server layer.  Policy code must never
+#: call them directly: a launch or kill that bypasses ``view.apply``
+#: never lands in the decision journal, so the run stops being
+#: replayable (DESIGN.md §5.3).
+_ENGINE_MUTATORS = frozenset({"launch_copy", "kill_copy", "allocate", "release"})
+
+#: Conventional names for the engine-owned state handles handed to
+#: policy code.  Attribute stores rooted at one of these are writes to
+#: simulation state from a layer that must stay read-only.
+_RL007_STATE_ROOTS = frozenset({"view", "engine", "cluster"})
+
+
+class _RL007:
+    rule_id = "RL007"
+    summary = "engine/cluster state touched outside the action protocol"
+
+    def applies_to(self, relpath: str) -> bool:
+        return _in_dirs(relpath, _RL007_DIRS)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_engine":
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    "access to the private `._engine` backdoor — policy code "
+                    "must go through ClusterView's read API and emit typed "
+                    "actions via view.apply",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ENGINE_MUTATORS
+            ):
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    f"direct `.{node.func.attr}(...)` call bypasses the "
+                    "action protocol — emit a Launch/Kill through view.apply "
+                    "so the decision lands in the replay journal",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    list(node.targets) if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    hit = self._state_store(target)
+                    if hit is not None:
+                        yield Finding(
+                            target.lineno,
+                            target.col_offset,
+                            f"write to engine/cluster state `{hit}` — policy "
+                            "code is read-only; mutations must flow through "
+                            "typed actions (view.apply)",
+                        )
+
+    @staticmethod
+    def _state_store(target: ast.expr) -> str | None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                hit = _RL007._state_store(elt)
+                if hit is not None:
+                    return hit
+            return None
+        if isinstance(target, ast.Attribute):
+            # `view.x.y = ...`: the chain *below* the stored attribute is
+            # what identifies engine state (storing `self.cluster = ...`
+            # on a policy object is a plain reference bind, not a write
+            # into the cluster).
+            root, chain = _RL007._chain(target.value)
+            stored = f"{'.'.join([root or '?'] + chain + [target.attr])}"
+        elif isinstance(target, ast.Subscript):
+            # `view.cluster.servers[0] = ...`: an item store mutates the
+            # container, so every attribute in the chain counts.
+            root, chain = _RL007._chain(target.value)
+            stored = f"{'.'.join([root or '?'] + chain)}[...]"
+        else:
+            return None
+        if root is None:
+            return None
+        if root in _RL007_STATE_ROOTS or "cluster" in chain or "_engine" in chain:
+            return stored
+        return None
+
+    @staticmethod
+    def _chain(node: ast.expr) -> tuple[str | None, list[str]]:
+        """Unwind `a.b[i].c` → ("a", ["b", "c"]); root None if not a Name."""
+        parts: list[str] = []
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None, []
+        return node.id, list(reversed(parts))
+
+
+ALL_RULES = (_RL001(), _RL002(), _RL003(), _RL004(), _RL005(), _RL006(), _RL007())
