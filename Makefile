@@ -1,13 +1,18 @@
-# Repro development targets.  `make check` is the full gate CI runs:
-# static analysis, the tier-1 test suite, a sanitizer-enabled smoke
-# simulation, and the benchmark regression guard.
+# Repro development targets.  `make check` is the full gate CI runs —
+# it delegates to tools/check.sh, which executes each gate below
+# fail-fast and prints a PASS/FAIL summary line per gate.  CI invokes
+# `make check` directly so the gate list lives in exactly one place.
 
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check lint test smoke replay-smoke bench-check
+# Coverage floor lives in pyproject.toml ([tool.coverage.report]).
+COV_FAIL_UNDER = $(shell sed -n 's/^fail_under *= *//p' pyproject.toml)
 
-check: lint test smoke replay-smoke bench-check
+.PHONY: check lint test smoke replay-smoke bench-check coverage bench-trajectory
+
+check:
+	@MAKE="$(MAKE)" sh tools/check.sh
 
 lint:
 	$(PYTHON) -m tools.repro_lint src tests benchmarks
@@ -23,3 +28,18 @@ replay-smoke:
 
 bench-check:
 	$(PYTHON) -m benchmarks.check_regression
+
+# Enforced in CI (pytest-cov is installed there); locally the gate
+# degrades to a skip when pytest-cov isn't available, since the repo
+# must work without installing anything.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -x -q --cov=repro --cov=tools \
+			--cov-report=term --cov-fail-under=$(COV_FAIL_UNDER); \
+	else \
+		echo "coverage: pytest-cov not installed, skipping (floor $(COV_FAIL_UNDER)% enforced in CI)"; \
+	fi
+
+# Appends one line to benchmarks/results/trajectory.jsonl (cron job).
+bench-trajectory:
+	$(PYTHON) -m benchmarks.placement_microbench --append benchmarks/results/trajectory.jsonl

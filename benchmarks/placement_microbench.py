@@ -1,0 +1,122 @@
+"""Placement microbenchmark for the scheduled bench-trajectory job.
+
+Measures the two placement kernels the simulator leans on — vectorized
+``best_fit_server`` queries against the availability mirror, and one
+full DollyMP schedule pass on the paper's 30-node testbed — and emits
+one JSON record.  The CI cron job appends the record to
+``benchmarks/results/trajectory.jsonl`` and uploads it, building a
+wall-time trajectory of the hot path across commits::
+
+    python -m benchmarks.placement_microbench                 # print record
+    python -m benchmarks.placement_microbench --append <path> # append JSONL
+
+Unlike :mod:`benchmarks.check_regression` (a pass/fail gate against a
+recorded baseline), this module never fails on slow measurements — it
+only records them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes, trace_sim_cluster
+from repro.core.online import DollyMPScheduler
+from repro.sim.engine import SimulationEngine
+from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
+
+from benchmarks.conftest import SEED
+
+__all__ = ["measure", "main"]
+
+
+def _git_head() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def measure_best_fit_us(num_servers: int = 10_000, queries: int = 2_000) -> float:
+    """Mean microseconds per vectorized ``best_fit_server`` query."""
+    cluster = trace_sim_cluster(num_servers, seed=SEED)
+    jobs = jobs_from_specs(GoogleTraceGenerator(seed=SEED).generate(50))
+    demands = [j.phases[0].demand for j in jobs]
+    cluster.best_fit_server(demands[0])  # warmup
+    t0 = time.perf_counter()
+    for i in range(queries):
+        cluster.best_fit_server(demands[i % len(demands)])
+    return 1e6 * (time.perf_counter() - t0) / queries
+
+
+def measure_schedule_pass_ms(rounds: int = 3) -> float:
+    """Mean milliseconds per DollyMP schedule pass on the 30-node testbed
+    (same protocol as the regression gate's schedule-pass check)."""
+    jobs = jobs_from_specs(
+        GoogleTraceGenerator(seed=SEED, mean_theta=60.0).generate(
+            40, mean_interarrival=0.0
+        )
+    )
+    sched = DollyMPScheduler(max_clones=2)
+    engine = SimulationEngine(
+        paper_cluster_30_nodes(), sched, jobs, seed=SEED, max_time=1e9
+    )
+    for job in engine.jobs:
+        engine.active_jobs[job.job_id] = job
+    sched.recompute_priorities(engine.view)
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        sched.schedule(engine.view)
+        times.append(time.perf_counter() - t0)
+    return 1e3 * sum(times) / rounds
+
+
+def measure() -> dict:
+    """One trajectory record (timestamps/host fields are wall-clock —
+    this is a benchmark, not simulation logic)."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "best_fit_us": round(measure_best_fit_us(), 3),
+        "schedule_pass_ms": round(measure_schedule_pass_ms(), 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--append",
+        metavar="PATH",
+        help="append the record to this JSONL file (created if missing)",
+    )
+    args = parser.parse_args(argv)
+    record = measure()
+    line = json.dumps(record, sort_keys=True)
+    if args.append:
+        path = Path(args.append)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        print(f"appended to {path}: {line}")
+    else:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

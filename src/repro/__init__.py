@@ -13,7 +13,9 @@ Public API tour:
 * :mod:`repro.core` — DollyMP's algorithmic pieces (knapsack oracle,
   Algorithm 1 priorities, Algorithm 2 online scheduler, cloning policy,
   Sec. 4 theory);
-* :mod:`repro.analysis` — CDFs and report tables for the benches.
+* :mod:`repro.analysis` — CDFs and report tables for the benches;
+* :mod:`repro.observability` — opt-in metrics registry, span tracing
+  and profiling hooks (``Observability``).
 
 Quickstart::
 
@@ -63,6 +65,7 @@ from repro.schedulers import (
     DollyMPScheduler,
 )
 from repro.core import CloningPolicy, LearningDollyMPScheduler, StragglerServerTracker
+from repro.observability import Observability
 
 __version__ = "1.0.0"
 
@@ -102,5 +105,6 @@ __all__ = [
     "CloningPolicy",
     "LearningDollyMPScheduler",
     "StragglerServerTracker",
+    "Observability",
     "__version__",
 ]

@@ -8,6 +8,13 @@ Examples::
     python -m repro trace --jobs 100 --out /tmp/trace.json
     python -m repro replay /tmp/trace.json --scheduler dollymp2 --servers 100
 
+Observability (DESIGN.md §5.4)::
+
+    python -m repro metrics --scheduler dollymp2 --jobs 20
+    python -m repro metrics --format prom --out /tmp/metrics.prom
+    python -m repro run --metrics-out /tmp/m.json --spans-out /tmp/s.jsonl
+    python -m repro run --profile
+
 Decision traces (the action protocol of DESIGN.md §5.3)::
 
     python -m repro trace record --scheduler dollymp2 --app mixed \\
@@ -26,7 +33,9 @@ constructor argument.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.analysis.report import comparison_table
@@ -37,6 +46,7 @@ from repro.cluster.heterogeneity import (
 )
 from repro.core.online import DollyMPScheduler
 from repro.core.server_learning import LearningDollyMPScheduler
+from repro.observability import Observability
 from repro.resources import Resources
 from repro.schedulers.carbyne import CarbyneScheduler
 from repro.schedulers.drf import DRFScheduler
@@ -122,32 +132,112 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--slot", type=float, default=0.0, help="scheduling interval seconds (0 = event driven)")
 
 
+def _add_observability(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics-out",
+        help="write a metrics snapshot here (JSON; a *.prom path gets Prometheus text)",
+    )
+    p.add_argument("--spans-out", help="write the span trace here (JSONL)")
+    p.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="include host wall-time fields in exports (non-deterministic)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile wall time per phase and print the report",
+    )
+
+
+def _observability_for(args) -> Observability | None:
+    """A per-run bundle when any observability output was requested."""
+    if args.metrics_out or args.spans_out or args.profile:
+        return Observability(profile=args.profile or None)
+    return None
+
+
+def _finish_observability(obs: Observability | None, args) -> None:
+    if obs is None:
+        return
+    if args.metrics_out:
+        obs.dump_metrics(args.metrics_out, include_wall=args.include_wall)
+        print(f"metrics -> {args.metrics_out}")
+    if args.spans_out:
+        obs.dump_spans(args.spans_out, include_wall=args.include_wall)
+        print(f"spans -> {args.spans_out}")
+    if args.profile and obs.profiler is not None:
+        print(obs.profiler.format_report(), end="")
+
+
 def cmd_run(args) -> int:
     jobs = make_app_jobs(args.app, args.jobs, args.gap, args.input_gb)
+    obs = _observability_for(args)
+    if obs is not None:
+        obs.record_workload(jobs)
     result = run_simulation(
         make_cluster(args.cluster, args.seed),
         make_scheduler(args.scheduler),
         jobs,
         seed=args.seed,
         schedule_interval=args.slot,
+        observability=obs,
     )
     for key, value in result.summary().items():
         print(f"{key:>24s}: {value:.3f}")
+    _finish_observability(obs, args)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run a simulation and print/export its metrics snapshot."""
+    jobs = make_app_jobs(args.app, args.jobs, args.gap, args.input_gb)
+    obs = Observability(profile=args.profile or None)
+    obs.record_workload(jobs)
+    run_simulation(
+        make_cluster(args.cluster, args.seed),
+        make_scheduler(args.scheduler),
+        jobs,
+        seed=args.seed,
+        schedule_interval=args.slot,
+        observability=obs,
+    )
+    if args.format == "prom":
+        text = obs.to_prometheus(include_wall=args.include_wall)
+    else:
+        text = obs.to_json(include_wall=args.include_wall) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"metrics -> {args.out}")
+    else:
+        sys.stdout.write(text)
+    if args.profile and obs.profiler is not None:
+        print(obs.profiler.format_report(), end="", file=sys.stderr)
     return 0
 
 
 def cmd_compare(args) -> int:
     names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
     results = {}
+    snapshots: dict[str, dict] = {}
     for name in names:
+        obs = Observability() if args.metrics_out else None
         results[name] = run_simulation(
             make_cluster(args.cluster, args.seed),
             make_scheduler(name),
             make_app_jobs(args.app, args.jobs, args.gap, args.input_gb),
             seed=args.seed,
             schedule_interval=args.slot,
+            observability=obs,
         )
+        if obs is not None:
+            snapshots[name] = obs.snapshot(include_wall=args.include_wall)
     print(comparison_table(results))
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(snapshots, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -164,12 +254,16 @@ def cmd_trace(args) -> int:
 
 def cmd_trace_record(args) -> int:
     jobs = make_app_jobs(args.app, args.jobs, args.gap, args.input_gb)
+    obs = _observability_for(args)
+    if obs is not None:
+        obs.record_workload(jobs)
     result, trace = run_recorded(
         make_cluster(args.cluster, args.seed),
         make_scheduler(args.scheduler),
         jobs,
         seed=args.seed,
         schedule_interval=args.slot,
+        observability=obs,
     )
     # Self-describing provenance: enough to rebuild the exact workload
     # and cluster, plus the recorded outcome to verify a replay against.
@@ -192,6 +286,7 @@ def cmd_trace_record(args) -> int:
         f"{result.clones_launched} clones) from {args.scheduler} over "
         f"{len(result.records)} jobs -> {args.out}"
     )
+    _finish_observability(obs, args)
     return 0
 
 
@@ -208,8 +303,11 @@ def cmd_trace_replay(args) -> int:
         workload["app"], int(workload["jobs"]), float(workload["gap"]),
         float(workload["input_gb"]),
     )
+    obs = _observability_for(args)
     try:
-        result = replay_trace(trace, make_cluster(workload["cluster"], seed), jobs)
+        result = replay_trace(
+            trace, make_cluster(workload["cluster"], seed), jobs, observability=obs
+        )
     except ReplayDivergence as exc:
         print(f"replay DIVERGED: {exc}", file=sys.stderr)
         return 1
@@ -236,20 +334,27 @@ def cmd_trace_replay(args) -> int:
         f"replayed {len(trace)} decisions over {len(result.records)} jobs: "
         "bit-identical to the recorded run"
     )
+    _finish_observability(obs, args)
     return 0
 
 
 def cmd_replay(args) -> int:
     specs = load_trace(args.trace)
+    jobs = jobs_from_specs(specs)
+    obs = _observability_for(args)
+    if obs is not None:
+        obs.record_workload(jobs)
     result = run_simulation(
         make_cluster(args.cluster, args.seed),
         make_scheduler(args.scheduler),
-        jobs_from_specs(specs),
+        jobs,
         seed=args.seed,
         schedule_interval=args.slot,
+        observability=obs,
     )
     for key, value in result.summary().items():
         print(f"{key:>24s}: {value:.3f}")
+    _finish_observability(obs, args)
     return 0
 
 
@@ -267,7 +372,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gap", type=float, default=20.0)
     p.add_argument("--input-gb", type=float, default=4.0)
     _add_common(p)
+    _add_observability(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "metrics", help="run a simulation and emit its metrics snapshot"
+    )
+    p.add_argument("--scheduler", default="dollymp2")
+    p.add_argument("--app", default="mixed")
+    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--gap", type=float, default=20.0)
+    p.add_argument("--input-gb", type=float, default=4.0)
+    p.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="snapshot encoding: canonical JSON or Prometheus text",
+    )
+    p.add_argument("--out", help="write here instead of stdout")
+    p.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="include host wall-time fields (non-deterministic)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile wall time per phase and print the report to stderr",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("compare", help="run several schedulers on the same workload")
     p.add_argument("--schedulers", default="capacity,tetris,dollymp2")
@@ -275,6 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=20)
     p.add_argument("--gap", type=float, default=20.0)
     p.add_argument("--input-gb", type=float, default=4.0)
+    p.add_argument(
+        "--metrics-out",
+        help="write per-scheduler metrics snapshots here as one JSON object",
+    )
+    p.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="include host wall-time fields (non-deterministic)",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_compare)
 
@@ -299,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--input-gb", type=float, default=4.0)
     tp.add_argument("--out", required=True, help="decision-trace JSONL path")
     _add_common(tp)
+    _add_observability(tp)
     tp.set_defaults(func=cmd_trace_record)
 
     tp = tsub.add_parser(
@@ -306,12 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute a recorded decision trace and verify bit-identity",
     )
     tp.add_argument("trace", help="decision-trace JSONL from `trace record`")
+    _add_observability(tp)
     tp.set_defaults(func=cmd_trace_replay)
 
     p = sub.add_parser("replay", help="replay a trace file under a scheduler")
     p.add_argument("trace")
     p.add_argument("--scheduler", default="dollymp2")
     _add_common(p)
+    _add_observability(p)
     p.set_defaults(func=cmd_replay)
 
     return parser

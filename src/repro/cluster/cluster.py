@@ -69,6 +69,15 @@ class Cluster:
         self.mirror = AvailabilityMirror(self.servers)
         for s in self.servers:
             s._mirror = self.mirror
+        #: Pre-bound (vectorized, scalar) placement-query counters,
+        #: installed by Observability.bind_cluster; None keeps the
+        #: disabled query path at one attribute load + branch.
+        self._obs_placement = None
+
+    def _count_query(self) -> None:
+        children = self._obs_placement
+        if children is not None:
+            children[0 if self.vectorized else 1].inc()
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -101,11 +110,15 @@ class Cluster:
 
     def servers_fitting(self, demand: Resources) -> list[Server]:
         """Servers that can currently host ``demand`` (Eq. 5 check)."""
+        if self._obs_placement is not None:
+            self._count_query()
         if self.vectorized:
             return [self.servers[i] for i in self.mirror.fitting_ids(demand)]
         return [s for s in self.servers if s.can_fit(demand)]
 
     def any_fits(self, demand: Resources) -> bool:
+        if self._obs_placement is not None:
+            self._count_query()
         if self.vectorized:
             return self.mirror.any_fits(demand)
         return any(s.can_fit(demand) for s in self.servers)
@@ -119,6 +132,8 @@ class Cluster:
         ``>`` keeps the first maximum and the vectorized ``argmax``
         returns the first maximal index, so both paths agree exactly.
         """
+        if self._obs_placement is not None:
+            self._count_query()
         if self.vectorized:
             hit = self.mirror.best_fit(demand)
             return None if hit is None else self.servers[hit[0]]

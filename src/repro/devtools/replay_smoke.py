@@ -10,16 +10,25 @@ decision-point misalignment) exits non-zero with the first differing
 quantity named.
 
 Run:  PYTHONPATH=src python -m repro.devtools.replay_smoke
+
+The replay leg runs with observability attached (metrics + spans), so
+this gate also proves observability never steers the simulation.  With
+``REPRO_SMOKE_ARTIFACTS=<dir>`` the decision trace and the replay's
+metrics snapshot are written there for CI to upload.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
 import sys
 import tempfile
 from pathlib import Path
 
 from repro.cluster.heterogeneity import paper_cluster_30_nodes
 from repro.core.online import DollyMPScheduler
+from repro.devtools.smoke import ARTIFACTS_ENV
+from repro.observability import Observability
 from repro.sim.actions import DecisionTrace
 from repro.sim.replay import ReplayDivergence, assert_replay_identical, replay_trace
 from repro.sim.runner import run_recorded
@@ -46,21 +55,35 @@ def main() -> int:
         seed=7,
         sanitize=True,
     )
+    artifacts = os.environ.get(ARTIFACTS_ENV, "").strip()
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "decisions.jsonl"
         trace.dump_jsonl(path)
         loaded = DecisionTrace.load_jsonl(path)
+        if artifacts:
+            out = Path(artifacts)
+            out.mkdir(parents=True, exist_ok=True)
+            shutil.copy(path, out / "replay_decisions.jsonl")
     if loaded.decisions != trace.decisions:
         print("replay-smoke: JSONL round-trip mutated the trace", file=sys.stderr)
         return 1
+    obs = Observability()
     try:
         replayed = replay_trace(
-            loaded, paper_cluster_30_nodes(), _make_jobs(), sanitize=True
+            loaded,
+            paper_cluster_30_nodes(),
+            _make_jobs(),
+            sanitize=True,
+            observability=obs,
         )
         assert_replay_identical(result, replayed)
     except ReplayDivergence as exc:
         print(f"replay-smoke: DIVERGED — {exc}", file=sys.stderr)
         return 1
+    if artifacts:
+        out = Path(artifacts)
+        obs.dump_metrics(out / "replay_metrics.json")
+        print(f"replay-smoke: observability artifacts -> {out}")
     print(
         f"replay-smoke: {len(trace)} decisions over {len(result.records)} jobs "
         f"({result.clones_launched} clones) replayed bit-identically"

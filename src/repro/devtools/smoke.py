@@ -7,18 +7,29 @@ any invariant breaks or the run diverges from expectations.
 
 Run:  REPRO_SANITIZE=1 PYTHONPATH=src python -m repro.devtools.smoke
 (the module forces sanitization on regardless of the environment).
+
+With ``REPRO_SMOKE_ARTIFACTS=<dir>`` the run also collects observability
+and writes ``smoke_metrics.json`` / ``smoke_metrics.prom`` /
+``smoke_spans.jsonl`` there — CI uploads the directory as a workflow
+artifact.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+from pathlib import Path
 
 from repro.cluster.heterogeneity import paper_cluster_30_nodes
 from repro.core.online import DollyMPScheduler
+from repro.observability import Observability
 from repro.sim.runner import run_simulation
 from repro.workload.mapreduce import pagerank_job, wordcount_job
 
-__all__ = ["main"]
+__all__ = ["main", "ARTIFACTS_ENV"]
+
+#: Directory to drop smoke observability artifacts into (CI uploads it).
+ARTIFACTS_ENV = "REPRO_SMOKE_ARTIFACTS"
 
 
 def main() -> int:
@@ -30,7 +41,20 @@ def main() -> int:
         else:
             jobs.append(pagerank_job(1.0, arrival_time=45.0 * i, job_id=i))
     scheduler = DollyMPScheduler(max_clones=2)
-    result = run_simulation(cluster, scheduler, jobs, seed=7, sanitize=True)
+    artifacts = os.environ.get(ARTIFACTS_ENV, "").strip()
+    obs = Observability() if artifacts else None
+    if obs is not None:
+        obs.record_workload(jobs)
+    result = run_simulation(
+        cluster, scheduler, jobs, seed=7, sanitize=True, observability=obs
+    )
+    if obs is not None:
+        out = Path(artifacts)
+        out.mkdir(parents=True, exist_ok=True)
+        obs.dump_metrics(out / "smoke_metrics.json")
+        obs.dump_metrics(out / "smoke_metrics.prom")
+        obs.dump_spans(out / "smoke_spans.jsonl")
+        print(f"smoke: observability artifacts -> {out}")
     if len(result.records) != len(jobs):
         print(
             f"smoke: expected {len(jobs)} finished jobs, got "

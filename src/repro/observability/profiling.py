@@ -1,0 +1,104 @@
+"""Opt-in wall-time profiling of the simulator's phases.
+
+Answers "where does the wall time of a run go?" by attributing
+``perf_counter`` intervals to named phases — ``engine`` (event
+processing), ``scheduler`` (policy entry points), ``placement`` (the
+fill loops / best-fit kernels) — with correct nesting: a phase's
+**self** time excludes the time spent in phases it opened.
+
+Enabled with ``REPRO_PROFILE=1`` or ``SimulationEngine(profile=True)``;
+everything here is host-time measurement, so profiler output is never
+part of the deterministic snapshot (it surfaces under the wall section
+of :meth:`repro.observability.Observability.snapshot`).
+"""
+
+from __future__ import annotations
+
+import os
+import time as _wallclock
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseProfiler", "profile_default", "PROFILE_ENV"]
+
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+def profile_default() -> bool:
+    """True when ``REPRO_PROFILE`` selects profiling."""
+    return os.environ.get(PROFILE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class _PhaseStat:
+    __slots__ = ("calls", "total_s", "child_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.child_s = 0.0
+
+    @property
+    def self_s(self) -> float:
+        return self.total_s - self.child_s
+
+
+class PhaseProfiler:
+    """Accumulates inclusive and self wall-time per named phase."""
+
+    def __init__(self) -> None:
+        self._stats: dict[str, _PhaseStat] = {}
+        # (phase name, enter perf_counter, child-time accumulator)
+        self._stack: list[list] = []
+
+    def enter(self, name: str) -> list:
+        """Open a phase frame; pair with :meth:`exit` in a try/finally."""
+        frame = [name, _wallclock.perf_counter(), 0.0]
+        self._stack.append(frame)
+        return frame
+
+    def exit(self, frame: list) -> None:
+        self._stack.pop()
+        elapsed = _wallclock.perf_counter() - frame[1]
+        name = frame[0]
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = _PhaseStat()
+        stat.calls += 1
+        stat.total_s += elapsed
+        stat.child_s += frame[2]
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        frame = self.enter(name)
+        try:
+            yield
+        finally:
+            self.exit(frame)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """``{phase: {calls, total_s, self_s}}``, phases name-sorted."""
+        return {
+            name: {
+                "calls": stat.calls,
+                "total_s": stat.total_s,
+                "self_s": stat.self_s,
+            }
+            for name, stat in sorted(self._stats.items())
+        }
+
+    def format_report(self) -> str:
+        """Aligned table, largest self-time first."""
+        rows = sorted(
+            self.report().items(), key=lambda kv: kv[1]["self_s"], reverse=True
+        )
+        if not rows:
+            return "profile: no phases recorded\n"
+        lines = [f"{'phase':<12s} {'calls':>9s} {'total':>10s} {'self':>10s}"]
+        for name, r in rows:
+            lines.append(
+                f"{name:<12s} {int(r['calls']):>9d} "
+                f"{r['total_s'] * 1e3:>8.1f}ms {r['self_s'] * 1e3:>8.1f}ms"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,412 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the measurement substrate of DESIGN.md §5.4.  Three
+metric kinds, Prometheus-flavoured but with no client library:
+
+* :class:`Counter` — monotone accumulator (events, actions, launches);
+* :class:`Gauge` — last-write-wins level (active jobs, sim clock);
+* :class:`Histogram` — fixed **log-scale** buckets (powers of two from
+  2⁻¹⁰ to 2²⁰) so the bucket layout never depends on the data and two
+  identical runs produce byte-identical snapshots.
+
+**Determinism contract.**  Everything recorded from simulated
+quantities (sim-time durations, counts, flow times) is a pure function
+of the event sequence, so a seeded run snapshots identically every
+time.  Metrics that measure the *host* — wall-clock timings — must be
+registered with ``wall=True``; they are segregated into their own
+namespace and excluded from :meth:`MetricsRegistry.snapshot` unless
+``include_wall=True`` is requested.  This is what lets the replay
+oracle (§5.3) keep passing with observability enabled.
+
+Labelled series are supported through pre-bound children
+(``counter.labels(kind="launch")`` returns a handle whose ``inc`` is a
+plain attribute bump), so hot paths pay one method call per event.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "log2_buckets",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def log2_buckets(lo_exp: int = -10, hi_exp: int = 20) -> tuple[float, ...]:
+    """Fixed log-scale bucket bounds: ``2**lo_exp .. 2**hi_exp``.
+
+    Powers of two are exactly representable, so bucket edges are
+    platform-independent and a value compares against them without any
+    rounding ambiguity.
+    """
+    if hi_exp <= lo_exp:
+        raise ValueError("hi_exp must exceed lo_exp")
+    return tuple(float(2.0**k) for k in range(lo_exp, hi_exp + 1))
+
+
+#: The default histogram layout: 31 buckets, ~1 ms to ~12 days when the
+#: observed unit is seconds.  Fixed at import time — never data-derived.
+DEFAULT_BUCKETS = log2_buckets()
+
+
+def _fmt_value(v: float) -> str:
+    """Shortest exact rendering: integral floats print as ints, the
+    rest as ``repr`` (round-trip exact), infinities as ``+Inf``."""
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if float(v).is_integer() and abs(v) < 1e16:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _label_key(labelnames: tuple[str, ...], labels: Mapping[str, str]) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared labelnames "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Common machinery: naming, labelled children, series ordering."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        *,
+        wall: bool = False,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for ln in labelnames:
+            if not _NAME_RE.match(ln):
+                raise ValueError(f"invalid label name {ln!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.wall = wall
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+
+    def _new_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """The child series for one label assignment (created on first
+        use; subsequent calls return the same pre-bound handle)."""
+        key = _label_key(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    @property
+    def _default(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} is labelled {self.labelnames}; "
+                "bind a child with .labels(...) first"
+            )
+        return self._children[()]
+
+    def _sorted_series(self) -> Iterator[tuple[tuple[str, ...], object]]:
+        """Series in sorted label order — the canonical export order."""
+        return iter(sorted(self._children.items()))
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Counter(_Metric):
+    """Monotonically increasing accumulator."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Metric):
+    """Last-write-wins level."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # Prometheus `le` semantics: a value lands in the first bucket
+        # whose upper bound is >= value; values beyond the last bound
+        # land in +Inf.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self.counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+
+class Histogram(_Metric):
+    """Distribution with fixed log-scale buckets (see module docs)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        wall: bool = False,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        super().__init__(name, help, labelnames, wall=wall)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.bounds)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        return self._default.cumulative()
+
+    @property
+    def sum(self) -> float:
+        return self._default.sum
+
+    @property
+    def count(self) -> int:
+        return self._default.count
+
+
+class MetricsRegistry:
+    """A namespace of metrics with deterministic export.
+
+    ``counter``/``gauge``/``histogram`` are **idempotent**: asking for an
+    existing name returns the registered metric (so instrumented modules
+    need no coordination), but re-declaring with a different kind,
+    label set or wall flag is a hard error — a silent mismatch would
+    corrupt the export schema.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- registration ---------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (
+                type(existing) is not cls
+                or existing.labelnames != tuple(labelnames)
+                or existing.wall != bool(kwargs.get("wall", False))
+            ):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"labels={existing.labelnames} wall={existing.wall}"
+                )
+            return existing
+        metric = cls(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames=(), *, wall: bool = False
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames, wall=wall)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames=(), *, wall: bool = False
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames, wall=wall)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames=(),
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        wall: bool = False,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets, wall=wall
+        )
+        if metric.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(f"metric {name!r} already registered with other buckets")
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self, *, include_wall: bool = False) -> dict:
+        """JSON-ready nested dict, keys sorted, series label-sorted.
+
+        Sim-derived metrics only by default; ``include_wall=True`` adds
+        the host-time (``wall=True``) metrics.  Two same-seed runs
+        produce byte-identical ``json.dumps(snapshot, sort_keys=True)``.
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.wall and not include_wall:
+                continue
+            series = []
+            for key, child in m._sorted_series():
+                labels = dict(zip(m.labelnames, key))
+                if isinstance(child, _HistogramChild):
+                    series.append(
+                        {
+                            "labels": labels,
+                            "buckets": [
+                                ["+Inf" if math.isinf(le) else le, c]
+                                for le, c in child.cumulative()
+                            ],
+                            "count": child.count,
+                            "sum": child.sum,
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[name] = {
+                "kind": m.kind,
+                "help": m.help,
+                "wall": m.wall,
+                "series": series,
+            }
+        return out
+
+    def to_json(self, *, include_wall: bool = False) -> str:
+        return json.dumps(
+            self.snapshot(include_wall=include_wall),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def to_prometheus(self, *, include_wall: bool = False) -> str:
+        """Prometheus text exposition (v0.0.4), deterministically ordered."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.wall and not include_wall:
+                continue
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            for key, child in m._sorted_series():
+                base = dict(zip(m.labelnames, key))
+                if isinstance(child, _HistogramChild):
+                    for le, c in child.cumulative():
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_fmt_labels({**base, 'le': _fmt_value(le)})} {c}"
+                        )
+                    lines.append(f"{name}_sum{_fmt_labels(base)} {_fmt_value(child.sum)}")
+                    lines.append(f"{name}_count{_fmt_labels(base)} {child.count}")
+                else:
+                    lines.append(f"{name}{_fmt_labels(base)} {_fmt_value(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in labels.items())
+    return "{" + body + "}"
+
+
+def _escape(v: str) -> str:
+    return str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")

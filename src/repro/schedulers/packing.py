@@ -129,13 +129,33 @@ def fill_tasks_best_fit(
     the inverse of the server's learned slowdown); on the vectorized
     path it is evaluated once per server and applied as a weight vector.
     """
-    if view.cluster.vectorized:
-        return _fill_tasks_vectorized(
-            view, phases_with_tasks, on_launch=on_launch, server_weight=server_weight
-        )
-    return _fill_tasks_scalar(
-        view, phases_with_tasks, on_launch=on_launch, server_weight=server_weight
+    obs = view.observability
+    frame = (
+        obs.profiler.enter("placement")
+        if obs is not None and obs.profiler is not None
+        else None
     )
+    try:
+        if view.cluster.vectorized:
+            launched = _fill_tasks_vectorized(
+                view,
+                phases_with_tasks,
+                on_launch=on_launch,
+                server_weight=server_weight,
+            )
+        else:
+            launched = _fill_tasks_scalar(
+                view,
+                phases_with_tasks,
+                on_launch=on_launch,
+                server_weight=server_weight,
+            )
+    finally:
+        if frame is not None:
+            obs.profiler.exit(frame)
+    if launched and obs is not None and obs.sim is not None:
+        obs.sim.placement_launched.labels(mode="tasks").inc(launched)
+    return launched
 
 
 def _fill_tasks_vectorized(
@@ -264,6 +284,36 @@ def fill_clones_best_fit(
     attempted in the given priority order, each placed on its best-fit
     server if any fits.  Returns the number of clones launched.
     """
+    obs = view.observability
+    frame = (
+        obs.profiler.enter("placement")
+        if obs is not None and obs.profiler is not None
+        else None
+    )
+    try:
+        launched = _fill_clones(
+            view,
+            tasks,
+            budget_check=budget_check,
+            max_launches=max_launches,
+            on_launch=on_launch,
+        )
+    finally:
+        if frame is not None:
+            obs.profiler.exit(frame)
+    if launched and obs is not None and obs.sim is not None:
+        obs.sim.placement_launched.labels(mode="clones").inc(launched)
+    return launched
+
+
+def _fill_clones(
+    view: "ClusterView",
+    tasks: Iterable[Task],
+    *,
+    budget_check: Callable[[Task], bool] | None,
+    max_launches: int | None,
+    on_launch: Callable[[Task, Server], None] | None,
+) -> int:
     launched = 0
     # Availability only shrinks within a pass, so a demand that found no
     # server will never fit later in the pass — skip repeats (tasks of a

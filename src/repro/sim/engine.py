@@ -41,6 +41,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
 from repro.devtools.sanitizer import SimulationSanitizer, sanitize_default
+from repro.observability import Observability, PhaseProfiler, observability_default
 from repro.resources import Resources
 from repro.sim.actions import (
     Action,
@@ -99,6 +100,12 @@ class ClusterView:
         used by DollyMP's δ budget without rescanning the cluster)."""
         return self._engine.clone_occupancy
 
+    @property
+    def observability(self) -> Observability | None:
+        """The run's observability bundle (None when not opted in).
+        Read-only from policy code: emit metrics/spans, never steer."""
+        return self._engine.observability
+
     # -- mutations: the action protocol ---------------------------------
     def apply(self, action: Action) -> TaskCopy | None:
         """Submit a typed action; returns the new copy for a Launch."""
@@ -129,6 +136,8 @@ class SimulationEngine:
         sanitize: bool | None = None,
         record_trace: bool = False,
         trace_maxlen: int | None = None,
+        observability: Observability | None = None,
+        profile: bool | None = None,
     ) -> None:
         if schedule_interval < 0:
             raise ValueError("schedule_interval must be non-negative")
@@ -179,6 +188,37 @@ class SimulationEngine:
             sanitize = sanitize_default()
         self.sanitizer = SimulationSanitizer(self) if sanitize else None
 
+        # Observability (DESIGN.md §5.4): None unless the run (or the
+        # environment) opted in — the disabled hot path pays only a
+        # pointer check per event.  `profile=True` forces the wall-time
+        # profiler on, creating a bundle if none was given.
+        if observability is None:
+            observability = observability_default()
+        if profile:
+            if observability is None:
+                observability = Observability(profile=True)
+            elif observability.profiler is None:
+                observability.profiler = PhaseProfiler()
+        self.observability = observability
+        ins = observability.sim if observability is not None else None
+        self._ins = ins
+        if observability is not None:
+            observability.bind_clock(lambda: self.now)
+            observability.bind_cluster(self.cluster)
+        # Pre-bound per-EventKind counter children and span names keep
+        # the per-event cost to one dict hit + one attribute bump.
+        if ins is not None:
+            self._ev_child = {
+                k: ins.events.labels(kind=k.name.lower()) for k in EventKind
+            }
+            self._dp_child = {
+                c: ins.decision_points.labels(cause=c)
+                for c in ("job_arrival", "task_finish", "job_finish", "schedule")
+            }
+        else:
+            self._ev_child = self._dp_child = None
+        self._ev_span_name = {k: f"event:{k.name.lower()}" for k in EventKind}
+
         self._validate_feasible()
 
     # ------------------------------------------------------------------
@@ -213,14 +253,27 @@ class SimulationEngine:
         action is applied atomically and, when recording, appended to
         the decision trace with time/cause/policy metadata.
         """
+        ins = self._ins
         if isinstance(action, Launch):
-            self._validate_launch(action.task, action.server)
+            try:
+                self._validate_launch(action.task, action.server)
+            except InvalidAction:
+                if ins is not None:
+                    ins.rejected_launches.inc()
+                raise
             copy = self._apply_launch(action.task, action.server, clone=action.clone)
             self._record(action.task, action.server.server_id, clone=copy.is_clone)
+            if ins is not None:
+                ins.launches.inc()
             return copy
         if isinstance(action, Kill):
             copy = action.copy
-            self._validate_kill(copy)
+            try:
+                self._validate_kill(copy)
+            except InvalidAction:
+                if ins is not None:
+                    ins.rejected_kills.inc()
+                raise
             self._apply_kill(copy)
             self._record(
                 copy.task,
@@ -228,6 +281,8 @@ class SimulationEngine:
                 kind="kill",
                 copy_index=copy.task.copies.index(copy),
             )
+            if ins is not None:
+                ins.kills.inc()
             return None
         raise TypeError(f"not an action: {action!r}")
 
@@ -325,6 +380,12 @@ class SimulationEngine:
         if is_clone:
             self.clones_launched += 1
             self.clone_occupancy = self.clone_occupancy + task.demand
+        ins = self._ins
+        if ins is not None:
+            ins.copies.inc()
+            if is_clone:
+                ins.clones.inc()
+            ins.copy_duration.observe(duration)
         return copy
 
     def _apply_kill(self, copy: TaskCopy) -> None:
@@ -390,11 +451,41 @@ class SimulationEngine:
         until the next one belong to this (ordinal, cause) opportunity."""
         self._decision_point += 1
         self._decision_cause = cause
+        dp = self._dp_child
+        if dp is not None:
+            dp[cause].inc()
+
+    def _policy_entry(self, cause: str, hook, *args) -> None:
+        """Open a decision point and run one scheduler hook, wrapped in
+        a ``decision:<cause>`` span and a ``scheduler`` profiler frame
+        when observability is enabled."""
+        self._open_decision_point(cause)
+        obs = self.observability
+        if obs is None:
+            hook(*args, self.view)
+            return
+        tracer = obs.tracer
+        prof = obs.profiler
+        span = (
+            tracer.enter(f"decision:{cause}", point=self._decision_point)
+            if tracer is not None
+            else None
+        )
+        frame = prof.enter("scheduler") if prof is not None else None
+        try:
+            hook(*args, self.view)
+        finally:
+            if frame is not None:
+                prof.exit(frame)
+            if span is not None:
+                tracer.exit(span)
 
     def _process_arrival(self, job: Job) -> None:
         self.active_jobs[job.job_id] = job
-        self._open_decision_point("job_arrival")
-        self.scheduler.on_job_arrival(job, self.view)
+        ins = self._ins
+        if ins is not None:
+            ins.active_jobs.set(len(self.active_jobs))
+        self._policy_entry("job_arrival", self.scheduler.on_job_arrival, job)
 
     def _process_copy_finish(self, copy: TaskCopy) -> None:
         if not copy.live:
@@ -412,18 +503,25 @@ class SimulationEngine:
         # kills are engine consequences of the COPY_FINISH event, not
         # scheduler decisions, so they bypass the journal (replay
         # re-derives them from the same event).
+        kills = 0
         for other in task.copies:
             if other is not copy and other.live:
                 self._apply_kill(other)
+                kills += 1
         task.complete(self.now)
-        self._open_decision_point("task_finish")
-        self.scheduler.on_task_finish(task, self.view)
+        ins = self._ins
+        if ins is not None and kills:
+            ins.preempt_kills.inc(kills)
+        self._policy_entry("task_finish", self.scheduler.on_task_finish, task)
         job = task.job
         if job.mark_finished_if_done(self.now):
             del self.active_jobs[job.job_id]
             self.finished_jobs.append(job)
-            self._open_decision_point("job_finish")
-            self.scheduler.on_job_finish(job, self.view)
+            if ins is not None:
+                assert job.finish_time is not None
+                ins.job_flowtime.observe(job.finish_time - job.arrival_time)
+                ins.active_jobs.set(len(self.active_jobs))
+            self._policy_entry("job_finish", self.scheduler.on_job_finish, job)
         elif task.phase.is_finished:
             self._arm_delayed_children(job, task.phase)
 
@@ -442,9 +540,33 @@ class SimulationEngine:
 
     def _run_schedule_pass(self) -> None:
         self._open_decision_point("schedule")
+        obs = self.observability
+        if obs is None:
+            t0 = _wallclock.perf_counter()
+            self.scheduler.schedule(self.view)
+            self.schedule_pass_seconds.append(_wallclock.perf_counter() - t0)
+            return
+        tracer = obs.tracer
+        prof = obs.profiler
+        span = (
+            tracer.enter("decision:schedule", point=self._decision_point)
+            if tracer is not None
+            else None
+        )
+        frame = prof.enter("scheduler") if prof is not None else None
         t0 = _wallclock.perf_counter()
-        self.scheduler.schedule(self.view)
-        self.schedule_pass_seconds.append(_wallclock.perf_counter() - t0)
+        try:
+            self.scheduler.schedule(self.view)
+        finally:
+            dt = _wallclock.perf_counter() - t0
+            self.schedule_pass_seconds.append(dt)
+            if frame is not None:
+                prof.exit(frame)
+            if span is not None:
+                tracer.exit(span)
+        ins = self._ins
+        if ins is not None:
+            ins.wall_schedule_pass.observe(dt)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -458,6 +580,13 @@ class SimulationEngine:
             aligned = math.floor(first / self.schedule_interval) * self.schedule_interval
             self.events.push(max(aligned, 0.0), EventKind.SCHEDULE_TICK)
 
+        obs = self.observability
+        tracer = obs.tracer if obs is not None else None
+        prof = obs.profiler if obs is not None else None
+        ev_child = self._ev_child
+        span_name = self._ev_span_name
+        run_t0 = _wallclock.perf_counter()
+
         while self.events:
             ev = self.events.pop()
             if ev.time > self.max_time:
@@ -468,32 +597,48 @@ class SimulationEngine:
             self._account_until(ev.time)
             self.now = ev.time
 
-            if ev.kind is EventKind.JOB_ARRIVAL:
-                self._process_arrival(ev.payload)
-                dirty = True
-            elif ev.kind is EventKind.COPY_FINISH:
-                self._process_copy_finish(ev.payload)
-                dirty = True
-            else:  # SCHEDULE_TICK
-                dirty = False
-                self._run_schedule_pass()
-                # Slotted mode sustains the tick chain; event-driven mode
-                # only sees one-shot wakeups (delayed-phase arming).
-                if slotted and (self.active_jobs or self.events):
-                    nxt = self._next_tick_time()
-                    if nxt is not None:
-                        self.events.push(nxt, EventKind.SCHEDULE_TICK)
-
-            if not slotted and dirty:
-                # Batch same-time events into one pass.
-                nxt = self.events.peek()
-                if nxt is None or nxt.time > self.now:
+            if ev_child is not None:
+                ev_child[ev.kind].inc()
+            span = (
+                tracer.enter(span_name[ev.kind]) if tracer is not None else None
+            )
+            frame = prof.enter("engine") if prof is not None else None
+            try:
+                if ev.kind is EventKind.JOB_ARRIVAL:
+                    self._process_arrival(ev.payload)
+                    dirty = True
+                elif ev.kind is EventKind.COPY_FINISH:
+                    self._process_copy_finish(ev.payload)
+                    dirty = True
+                else:  # SCHEDULE_TICK
+                    dirty = False
                     self._run_schedule_pass()
+                    # Slotted mode sustains the tick chain; event-driven mode
+                    # only sees one-shot wakeups (delayed-phase arming).
+                    if slotted and (self.active_jobs or self.events):
+                        nxt = self._next_tick_time()
+                        if nxt is not None:
+                            self.events.push(nxt, EventKind.SCHEDULE_TICK)
+
+                if not slotted and dirty:
+                    # Batch same-time events into one pass.
+                    nxt = self.events.peek()
+                    if nxt is None or nxt.time > self.now:
+                        self._run_schedule_pass()
+            finally:
+                if frame is not None:
+                    prof.exit(frame)
+                if span is not None:
+                    tracer.exit(span)
 
             if self.sanitizer is not None:
                 self.sanitizer.after_event(f"{ev.kind.name} @ t={ev.time:g}")
             self._check_progress()
 
+        ins = self._ins
+        if ins is not None:
+            ins.sim_time.set(self.now)
+            ins.wall_run.set(_wallclock.perf_counter() - run_t0)
         if self.active_jobs:
             raise RuntimeError(
                 f"event queue drained with {len(self.active_jobs)} jobs unfinished"

@@ -151,6 +151,7 @@ def replay_trace(
     schedule_interval: float | None = None,
     max_time: float = math.inf,
     sanitize: bool | None = None,
+    observability=None,
 ) -> SimulationResult:
     """Re-execute a recorded trace against a fresh cluster + workload.
 
@@ -158,6 +159,8 @@ def replay_trace(
     the trace's ``meta`` (present when recorded via
     :func:`repro.sim.runner.run_recorded`); they must match the
     recording run for the duration RNG and slot grid to line up.
+    ``observability`` attaches a per-run metrics/span/profiler bundle —
+    the replayed run's sim-derived metrics must equal the recording's.
     """
     meta = trace.meta if isinstance(trace, DecisionTrace) else {}
     if seed is None:
@@ -175,6 +178,7 @@ def replay_trace(
         schedule_interval=schedule_interval,
         max_time=max_time,
         sanitize=sanitize,
+        observability=observability,
     )
     result = engine.run()
     scheduler.assert_exhausted()

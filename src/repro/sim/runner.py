@@ -29,6 +29,7 @@ from concurrent.futures import (
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.observability import Observability
 from repro.schedulers.base import Scheduler
 from repro.sim.actions import DecisionTrace
 from repro.sim.engine import SimulationEngine
@@ -47,6 +48,7 @@ def run_simulation(
     schedule_interval: float = 0.0,
     max_time: float = math.inf,
     sanitize: bool | None = None,
+    observability: Observability | None = None,
 ) -> SimulationResult:
     """Simulate ``jobs`` on ``cluster`` under ``scheduler``.
 
@@ -56,6 +58,8 @@ def run_simulation(
     with the same seed see identical duration draws for identical
     placement sequences.  ``sanitize`` enables the per-event invariant
     checker (default: the ``REPRO_SANITIZE`` environment toggle).
+    ``observability`` attaches a per-run metrics/span/profiler bundle
+    (default: the ``REPRO_METRICS``/``REPRO_PROFILE`` toggles).
     """
     engine = SimulationEngine(
         cluster,
@@ -65,6 +69,7 @@ def run_simulation(
         schedule_interval=schedule_interval,
         max_time=max_time,
         sanitize=sanitize,
+        observability=observability,
     )
     return engine.run()
 
@@ -79,6 +84,7 @@ def run_recorded(
     max_time: float = math.inf,
     sanitize: bool | None = None,
     trace_maxlen: int | None = None,
+    observability: Observability | None = None,
 ) -> tuple[SimulationResult, DecisionTrace]:
     """Like :func:`run_simulation`, but journal every scheduler decision.
 
@@ -98,6 +104,7 @@ def run_recorded(
         sanitize=sanitize,
         record_trace=True,
         trace_maxlen=trace_maxlen,
+        observability=observability,
     )
     result = engine.run()
     trace = engine.trace

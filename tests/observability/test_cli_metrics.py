@@ -1,0 +1,95 @@
+"""CLI surface of the observability layer: the ``metrics`` subcommand
+and the ``--metrics-out`` / ``--spans-out`` / ``--profile`` flags."""
+
+import json
+
+from repro.cli import main
+from repro.observability import METRICS_SCHEMA
+from repro.observability.spans import SPAN_SCHEMA
+
+ARGS = ["--app", "wordcount", "--jobs", "3", "--gap", "100", "--input-gb", "1"]
+
+
+def test_metrics_command_prints_json(capsys):
+    rc = main(["metrics", *ARGS])
+    assert rc == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["schema"] == METRICS_SCHEMA
+    assert "repro_sim_events_total" in snap["metrics"]
+    assert "repro_workload_jobs_total" in snap["metrics"]
+    # wall metrics stay out of the default export
+    assert not any(n.startswith("repro_wall_") for n in snap["metrics"])
+
+
+def test_metrics_command_is_deterministic(capsys):
+    main(["metrics", *ARGS, "--seed", "7"])
+    first = capsys.readouterr().out
+    main(["metrics", *ARGS, "--seed", "7"])
+    assert capsys.readouterr().out == first
+
+
+def test_metrics_command_prom_format_to_file(tmp_path, capsys):
+    out = tmp_path / "m.prom"
+    rc = main(["metrics", *ARGS, "--format", "prom", "--out", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert "# TYPE repro_sim_events_total counter" in text
+    assert str(out) in capsys.readouterr().out
+
+
+def test_run_with_metrics_and_spans_out(tmp_path, capsys):
+    metrics = tmp_path / "m.json"
+    spans = tmp_path / "s.jsonl"
+    rc = main(
+        ["run", *ARGS, "--metrics-out", str(metrics), "--spans-out", str(spans)]
+    )
+    assert rc == 0
+    snap = json.loads(metrics.read_text())
+    assert snap["schema"] == METRICS_SCHEMA
+    header = json.loads(spans.read_text().splitlines()[0])
+    assert header["schema"] == SPAN_SCHEMA
+    assert header["spans"] > 0
+
+
+def test_run_profile_prints_report(capsys):
+    rc = main(["run", *ARGS, "--profile"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "scheduler" in out
+
+
+def test_compare_metrics_out_is_per_scheduler(tmp_path):
+    out = tmp_path / "cmp.json"
+    rc = main(
+        ["compare", "--schedulers", "fifo,srpt", *ARGS, "--metrics-out", str(out)]
+    )
+    assert rc == 0
+    snaps = json.loads(out.read_text())
+    assert sorted(snaps) == ["fifo", "srpt"]
+    for snap in snaps.values():
+        assert snap["schema"] == METRICS_SCHEMA
+
+
+def test_trace_record_and_replay_with_metrics(tmp_path):
+    trace = tmp_path / "decisions.jsonl"
+    rec_metrics = tmp_path / "rec.json"
+    rc = main(
+        ["trace", "record", *ARGS, "--out", str(trace),
+         "--metrics-out", str(rec_metrics)]
+    )
+    assert rc == 0
+    rep_metrics = tmp_path / "rep.json"
+    rc = main(
+        ["trace", "replay", str(trace), "--metrics-out", str(rep_metrics)]
+    )
+    assert rc == 0
+    rec = json.loads(rec_metrics.read_text())["metrics"]
+    rep = json.loads(rep_metrics.read_text())["metrics"]
+    # the replayed run reproduces the recording's copy/flowtime metrics
+    assert (
+        rep["repro_sim_copies_launched_total"]
+        == rec["repro_sim_copies_launched_total"]
+    )
+    assert (
+        rep["repro_sim_job_flowtime_seconds"] == rec["repro_sim_job_flowtime_seconds"]
+    )

@@ -1,0 +1,75 @@
+"""Unit tests for the phase profiler: nesting attribution (self vs
+total), the env-var opt-in, and the report formats."""
+
+import pytest
+
+from repro.observability.profiling import (
+    PROFILE_ENV,
+    PhaseProfiler,
+    profile_default,
+)
+
+
+def test_self_time_excludes_children():
+    prof = PhaseProfiler()
+    with prof.phase("engine"):
+        with prof.phase("scheduler"):
+            with prof.phase("placement"):
+                pass
+    report = prof.report()
+    assert set(report) == {"engine", "scheduler", "placement"}
+    for stats in report.values():
+        assert stats["calls"] == 1
+        assert stats["total_s"] >= stats["self_s"] >= 0.0
+    # parent's inclusive time covers the child's inclusive time
+    assert report["engine"]["total_s"] >= report["scheduler"]["total_s"]
+    assert report["scheduler"]["total_s"] >= report["placement"]["total_s"]
+    # self = total - child time, exactly
+    assert report["engine"]["self_s"] == pytest.approx(
+        report["engine"]["total_s"] - report["scheduler"]["total_s"]
+    )
+
+
+def test_explicit_enter_exit_matches_contextmanager():
+    prof = PhaseProfiler()
+    frame = prof.enter("engine")
+    inner = prof.enter("scheduler")
+    prof.exit(inner)
+    prof.exit(frame)
+    report = prof.report()
+    assert report["engine"]["calls"] == 1
+    assert report["scheduler"]["calls"] == 1
+
+
+def test_repeated_phases_accumulate():
+    prof = PhaseProfiler()
+    for _ in range(3):
+        with prof.phase("placement"):
+            pass
+    assert prof.report()["placement"]["calls"] == 3
+
+
+def test_report_is_name_sorted():
+    prof = PhaseProfiler()
+    for name in ("zeta", "alpha", "mid"):
+        with prof.phase(name):
+            pass
+    assert list(prof.report()) == ["alpha", "mid", "zeta"]
+
+
+def test_format_report_lists_phases():
+    prof = PhaseProfiler()
+    with prof.phase("engine"):
+        pass
+    text = prof.format_report()
+    assert "engine" in text and "calls" in text
+    assert PhaseProfiler().format_report() == "profile: no phases recorded\n"
+
+
+def test_profile_default_reads_env(monkeypatch):
+    monkeypatch.delenv(PROFILE_ENV, raising=False)
+    assert profile_default() is False
+    monkeypatch.setenv(PROFILE_ENV, "1")
+    assert profile_default() is True
+    monkeypatch.setenv(PROFILE_ENV, "off")
+    assert profile_default() is False

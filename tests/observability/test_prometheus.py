@@ -1,0 +1,64 @@
+"""Golden tests for the Prometheus text exposition (format v0.0.4).
+
+The exporter's byte-level output is part of the determinism contract:
+family order is name-sorted, series are label-sorted, histogram rows end
+with ``+Inf``/``_sum``/``_count``, and integral values print as ints.
+"""
+
+from repro.observability.registry import MetricsRegistry
+
+
+def build_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_sim_actions_total", "typed actions applied", ("kind",))
+    c.labels(kind="launch").inc(3)
+    c.labels(kind="kill").inc(1)
+    g = reg.gauge("repro_sim_active_jobs", "arrived, unfinished jobs")
+    g.set(2)
+    h = reg.histogram("repro_demo_seconds", "demo latencies", buckets=(0.5, 1.0, 2.0))
+    for v in (0.25, 1.0, 5.0):
+        h.observe(v)
+    reg.gauge("repro_wall_run_seconds", "host time", wall=True).set(0.123)
+    return reg
+
+
+GOLDEN = """\
+# HELP repro_demo_seconds demo latencies
+# TYPE repro_demo_seconds histogram
+repro_demo_seconds_bucket{le="0.5"} 1
+repro_demo_seconds_bucket{le="1"} 2
+repro_demo_seconds_bucket{le="2"} 2
+repro_demo_seconds_bucket{le="+Inf"} 3
+repro_demo_seconds_sum 6.25
+repro_demo_seconds_count 3
+# HELP repro_sim_actions_total typed actions applied
+# TYPE repro_sim_actions_total counter
+repro_sim_actions_total{kind="kill"} 1
+repro_sim_actions_total{kind="launch"} 3
+# HELP repro_sim_active_jobs arrived, unfinished jobs
+# TYPE repro_sim_active_jobs gauge
+repro_sim_active_jobs 2
+"""
+
+
+def test_prometheus_text_matches_golden():
+    assert build_registry().to_prometheus() == GOLDEN
+
+
+def test_include_wall_appends_wall_families():
+    text = build_registry().to_prometheus(include_wall=True)
+    assert text.startswith(GOLDEN[: GOLDEN.index("# HELP repro_sim")])
+    assert 'repro_wall_run_seconds 0.123' in text
+    assert text.index("repro_wall_run_seconds") > text.index("repro_sim_active_jobs")
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_esc_total", "", ("msg",))
+    c.labels(msg='say "hi"\nnow').inc()
+    line = reg.to_prometheus().splitlines()[-1]
+    assert line == 'repro_esc_total{msg="say \\"hi\\"\\nnow"} 1'
+
+
+def test_empty_registry_exports_empty_string():
+    assert MetricsRegistry().to_prometheus() == ""

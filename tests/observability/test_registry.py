@@ -1,0 +1,134 @@
+"""Unit tests for the zero-dependency metrics registry.
+
+Pins the semantics every exporter depends on: counter monotonicity,
+label-child idempotency, histogram bucket placement (Prometheus ``le``
+semantics on the fixed log2 layout), wall-metric segregation, and the
+canonical (sorted, byte-stable) JSON snapshot.
+"""
+
+import json
+
+import pytest
+
+from repro.observability.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    log2_buckets,
+)
+
+
+def test_counter_inc_and_default_amount():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total", "help")
+    c.inc()
+    c.inc(2.5)
+    series = reg.snapshot()["repro_test_total"]["series"]
+    assert series == [{"labels": {}, "value": 3.5}]
+
+
+def test_counter_rejects_negative_and_gauge_allows_it():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_c_total", "")
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+    g = reg.gauge("repro_g", "")
+    g.set(5.0)
+    g.dec(7.0)
+    assert reg.snapshot()["repro_g"]["series"][0]["value"] == -2.0
+
+
+def test_metric_name_validation():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("bad name!", "")
+
+
+def test_labels_children_are_idempotent():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_kinds_total", "", ("kind",))
+    a1 = c.labels(kind="a")
+    a2 = c.labels(kind="a")
+    assert a1 is a2
+    a1.inc()
+    a2.inc()
+    series = reg.snapshot()["repro_kinds_total"]["series"]
+    assert series == [{"labels": {"kind": "a"}, "value": 2.0}]
+
+
+def test_labels_must_match_labelnames():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_l_total", "", ("kind",))
+    with pytest.raises(ValueError):
+        c.labels(wrong="x")
+    with pytest.raises(ValueError):
+        c.inc()  # labelled family has no unlabelled value
+
+
+def test_family_redeclaration_idempotent_but_mismatch_raises():
+    reg = MetricsRegistry()
+    c1 = reg.counter("repro_f_total", "h", ("k",))
+    c2 = reg.counter("repro_f_total", "h", ("k",))
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        reg.counter("repro_f_total", "h", ("other",))
+    with pytest.raises(ValueError):
+        reg.gauge("repro_f_total", "h")  # same name, different type
+
+
+def test_log2_buckets_are_exact_powers_of_two():
+    buckets = log2_buckets(-3, 3)
+    assert buckets == (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+    assert all(b == 2.0 ** e for b, e in zip(buckets, range(-3, 4)))
+    assert DEFAULT_BUCKETS == log2_buckets(-10, 20)
+
+
+def test_histogram_le_semantics():
+    """A value lands in the first bucket with ``value <= le`` — exactly
+    Prometheus' cumulative `le` convention."""
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_h", "", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+        h.observe(v)
+    rows = h.cumulative()
+    # cumulative counts: le=1 → 2 (0.5, 1.0), le=2 → 3, le=4 → 4, +Inf → 5
+    assert [(le, n) for le, n in rows] == [
+        (1.0, 2),
+        (2.0, 3),
+        (4.0, 4),
+        (float("inf"), 5),
+    ]
+    snap = reg.snapshot()["repro_h"]["series"][0]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(107.0)
+
+
+def test_snapshot_excludes_wall_metrics_by_default():
+    reg = MetricsRegistry()
+    reg.counter("repro_sim_total", "sim")
+    reg.gauge("repro_wall_g", "wall", wall=True)
+    snap = reg.snapshot()
+    assert "repro_sim_total" in snap
+    assert "repro_wall_g" not in snap
+    assert "repro_wall_g" in reg.snapshot(include_wall=True)
+
+
+def test_to_json_is_byte_stable():
+    def build():
+        reg = MetricsRegistry()
+        c = reg.counter("repro_z_total", "", ("b", "a"))
+        c.labels(b="2", a="1").inc(3)
+        h = reg.histogram("repro_a_h", "")
+        h.observe(0.75)
+        return reg.to_json()
+
+    assert build() == build()
+    # canonical: keys sorted, compact separators
+    parsed = json.loads(build())
+    assert list(parsed) == sorted(parsed)
+
+
+def test_reset_clears_the_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_r_total", "").inc(4)
+    reg.reset()
+    assert reg.snapshot() == {}

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# The consolidated CI gate: runs every check `make check` promises, in
+# order, fail-fast, with one PASS/FAIL summary line per gate.  CI calls
+# `make check` which calls this script — the gate list lives here and
+# nowhere else, so local runs and CI can never drift.
+#
+# Usage: tools/check.sh [gate ...]     (default: the full sequence)
+
+set -u
+
+GATES="${*:-lint test smoke replay-smoke bench-check coverage}"
+
+for gate in $GATES; do
+    start=$(date +%s)
+    if ${MAKE:-make} -s "$gate"; then
+        end=$(date +%s)
+        echo "PASS $gate ($((end - start))s)"
+    else
+        status=$?
+        end=$(date +%s)
+        echo "FAIL $gate ($((end - start))s)"
+        echo "check: gate '$gate' failed (exit $status); later gates not run" >&2
+        exit "$status"
+    fi
+done
+echo "check: all gates passed"
