@@ -9,7 +9,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 # Coverage floor lives in pyproject.toml ([tool.coverage.report]).
 COV_FAIL_UNDER = $(shell sed -n 's/^fail_under *= *//p' pyproject.toml)
 
-.PHONY: check lint test smoke replay-smoke bench-check coverage bench-trajectory
+.PHONY: check lint test smoke replay-smoke fault-smoke bench-check coverage bench-trajectory
 
 check:
 	@MAKE="$(MAKE)" sh tools/check.sh
@@ -25,6 +25,9 @@ smoke:
 
 replay-smoke:
 	$(PYTHON) -m repro.devtools.replay_smoke
+
+fault-smoke:
+	$(PYTHON) -m repro.devtools.fault_smoke
 
 bench-check:
 	$(PYTHON) -m benchmarks.check_regression

@@ -46,6 +46,7 @@ from repro.cluster.heterogeneity import (
 )
 from repro.core.online import DollyMPScheduler
 from repro.core.server_learning import LearningDollyMPScheduler
+from repro.faults import FAULT_PROFILES, named_profile
 from repro.observability import Observability
 from repro.resources import Resources
 from repro.schedulers.carbyne import CarbyneScheduler
@@ -132,6 +133,44 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--slot", type=float, default=0.0, help="scheduling interval seconds (0 = event driven)")
 
 
+def _add_faults(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-profile",
+        choices=sorted(FAULT_PROFILES),
+        default="none",
+        help="deterministic fault injection preset (DESIGN.md §5.5)",
+    )
+    p.add_argument(
+        "--mtbf", type=float,
+        help="override the profile's mean time between server failures (s)",
+    )
+    p.add_argument(
+        "--mttr", type=float,
+        help="override the profile's mean repair time (s)",
+    )
+    p.add_argument(
+        "--copy-fail-rate", type=float,
+        help="override the profile's per-copy failure hazard (1/s)",
+    )
+    p.add_argument(
+        "--churn-seed", type=int,
+        help="explicit fault-RNG seed (default: derived from --seed)",
+    )
+
+
+def _fault_profile_for(args):
+    """(profile_or_None, churn_seed) from the fault flags."""
+    profile = named_profile(
+        args.fault_profile,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        copy_fail_rate=args.copy_fail_rate,
+    )
+    if not profile.enabled:
+        return None, None
+    return profile, args.churn_seed
+
+
 def _add_observability(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--metrics-out",
@@ -175,6 +214,7 @@ def cmd_run(args) -> int:
     obs = _observability_for(args)
     if obs is not None:
         obs.record_workload(jobs)
+    fault_profile, churn_seed = _fault_profile_for(args)
     result = run_simulation(
         make_cluster(args.cluster, args.seed),
         make_scheduler(args.scheduler),
@@ -182,6 +222,8 @@ def cmd_run(args) -> int:
         seed=args.seed,
         schedule_interval=args.slot,
         observability=obs,
+        fault_profile=fault_profile,
+        churn_seed=churn_seed,
     )
     for key, value in result.summary().items():
         print(f"{key:>24s}: {value:.3f}")
@@ -220,6 +262,7 @@ def cmd_compare(args) -> int:
     names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
     results = {}
     snapshots: dict[str, dict] = {}
+    fault_profile, churn_seed = _fault_profile_for(args)
     for name in names:
         obs = Observability() if args.metrics_out else None
         results[name] = run_simulation(
@@ -229,6 +272,8 @@ def cmd_compare(args) -> int:
             seed=args.seed,
             schedule_interval=args.slot,
             observability=obs,
+            fault_profile=fault_profile,
+            churn_seed=churn_seed,
         )
         if obs is not None:
             snapshots[name] = obs.snapshot(include_wall=args.include_wall)
@@ -257,6 +302,7 @@ def cmd_trace_record(args) -> int:
     obs = _observability_for(args)
     if obs is not None:
         obs.record_workload(jobs)
+    fault_profile, churn_seed = _fault_profile_for(args)
     result, trace = run_recorded(
         make_cluster(args.cluster, args.seed),
         make_scheduler(args.scheduler),
@@ -264,6 +310,8 @@ def cmd_trace_record(args) -> int:
         seed=args.seed,
         schedule_interval=args.slot,
         observability=obs,
+        fault_profile=fault_profile,
+        churn_seed=churn_seed,
     )
     # Self-describing provenance: enough to rebuild the exact workload
     # and cluster, plus the recorded outcome to verify a replay against.
@@ -373,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input-gb", type=float, default=4.0)
     _add_common(p)
     _add_observability(p)
+    _add_faults(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -417,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="include host wall-time fields (non-deterministic)",
     )
     _add_common(p)
+    _add_faults(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -441,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--out", required=True, help="decision-trace JSONL path")
     _add_common(tp)
     _add_observability(tp)
+    _add_faults(tp)
     tp.set_defaults(func=cmd_trace_record)
 
     tp = tsub.add_parser(

@@ -140,6 +140,8 @@ class Cluster:
         best: Server | None = None
         best_score = -1.0
         for s in self.servers:
+            if not s.up:
+                continue
             avail = s.available
             if not demand.fits_in(avail):
                 continue
@@ -147,6 +149,10 @@ class Cluster:
             if score > best_score:  # strict: ties keep the lowest id
                 best, best_score = s, score
         return best
+
+    def num_up(self) -> int:
+        """Servers currently in service (all of them absent fault injection)."""
+        return self.mirror.num_up()
 
     def running_copy_count(self) -> int:
         return sum(len(s.running_copies) for s in self.servers)

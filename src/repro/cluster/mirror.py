@@ -15,7 +15,9 @@ Data layout (all arrays indexed by ``server_id``):
   exactly the floats stored in ``Server._available``;
 * ``alloc_cpu`` / ``alloc_mem`` — the server's current allocation,
   exactly the floats stored in ``Server._allocated``;
-* ``cap_cpu`` / ``cap_mem`` — immutable capacities.
+* ``cap_cpu`` / ``cap_mem`` — immutable capacities;
+* ``up`` — boolean liveness mask (fault injection): down servers are
+  masked out of every feasibility query.
 
 Invariants:
 
@@ -59,6 +61,7 @@ class AvailabilityMirror:
         "alloc_mem",
         "cap_cpu",
         "cap_mem",
+        "up",
     )
 
     def __init__(self, servers: Sequence["Server"]) -> None:
@@ -69,6 +72,10 @@ class AvailabilityMirror:
         self.avail_mem = np.empty(m, np.float64)
         self.alloc_cpu = np.empty(m, np.float64)
         self.alloc_mem = np.empty(m, np.float64)
+        #: Liveness mask (fault injection): down servers are excluded
+        #: from every feasibility mask regardless of their availability
+        #: floats, matching ``Server.can_fit``'s up-check exactly.
+        self.up = np.empty(m, dtype=bool)
         self.refresh(servers)
 
     # ------------------------------------------------------------------
@@ -93,15 +100,22 @@ class AvailabilityMirror:
         self.avail_mem[i] = avail.mem
         self.alloc_cpu[i] = alloc.cpu
         self.alloc_mem[i] = alloc.mem
+        self.up[i] = server.up
 
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
     def fitting_mask(self, demand: Resources) -> np.ndarray:
-        """Boolean mask of servers that can host ``demand`` (Eq. 5)."""
-        return (self.avail_cpu + EPS >= demand.cpu) & (
-            self.avail_mem + EPS >= demand.mem
+        """Boolean mask of *up* servers that can host ``demand`` (Eq. 5)."""
+        return (
+            self.up
+            & (self.avail_cpu + EPS >= demand.cpu)
+            & (self.avail_mem + EPS >= demand.mem)
         )
+
+    def num_up(self) -> int:
+        """Servers currently in service (O(M) reduction on the mask)."""
+        return int(self.up.sum())
 
     def any_fits(self, demand: Resources) -> bool:
         return bool(self.fitting_mask(demand).any())

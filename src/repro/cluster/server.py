@@ -29,6 +29,7 @@ class Server:
         "capacity",
         "slowdown",
         "rack",
+        "up",
         "_allocated",
         "_available",
         "_running",
@@ -53,6 +54,11 @@ class Server:
         #: >1 = slow node, <1 = powerful node).
         self.slowdown = slowdown
         self.rack = rack
+        #: Liveness flag (fault injection, DESIGN.md §5.5).  A down
+        #: server hosts nothing: availability reads as zero, can_fit and
+        #: allocate refuse, and the engine killed every resident copy
+        #: before flipping this off via :meth:`mark_down`.
+        self.up = True
         self._allocated = ZERO
         # Availability is read millions of times per simulation (every
         # best-fit scan); keep it cached and update on allocate/release.
@@ -79,10 +85,12 @@ class Server:
         return frozenset(self._running)
 
     def can_fit(self, demand: Resources) -> bool:
-        return demand.fits_in(self.available)
+        return self.up and demand.fits_in(self.available)
 
     def allocate(self, copy: "TaskCopy") -> None:
         """Reserve resources for a task copy.  Raises if it does not fit."""
+        if not self.up:
+            raise RuntimeError(f"server {self.server_id}: down, cannot allocate")
         demand = copy.task.demand
         if not self.can_fit(demand):
             raise RuntimeError(
@@ -118,6 +126,42 @@ class Server:
             self._allocated = Resources(
                 max(alloc.cpu - demand.cpu, 0.0), max(alloc.mem - demand.mem, 0.0)
             )
+        cap = self.capacity
+        self._available = Resources(
+            max(cap.cpu - self._allocated.cpu, 0.0),
+            max(cap.mem - self._allocated.mem, 0.0),
+        )
+        if self._mirror is not None:
+            self._mirror.update(self)
+
+    # ------------------------------------------------------------------
+    # Fault transitions (engine-driven; see repro.faults)
+    # ------------------------------------------------------------------
+    def mark_down(self) -> None:
+        """Take the server out of service.  The caller (the engine's
+        ``Fail`` applier) must have released every resident copy first,
+        so the allocation is already snapped to exactly zero; a down
+        server advertises zero availability through both the scalar path
+        and the mirror."""
+        if not self.up:
+            raise RuntimeError(f"server {self.server_id}: already down")
+        if self._running:
+            raise RuntimeError(
+                f"server {self.server_id}: cannot go down with "
+                f"{len(self._running)} resident copies"
+            )
+        self.up = False
+        self._available = ZERO
+        if self._mirror is not None:
+            self._mirror.update(self)
+
+    def mark_up(self) -> None:
+        """Return the server to service with its full capacity.  The
+        allocation is exactly zero while down, so availability restores
+        to the capacity floats bit-for-bit."""
+        if self.up:
+            raise RuntimeError(f"server {self.server_id}: already up")
+        self.up = True
         cap = self.capacity
         self._available = Resources(
             max(cap.cpu - self._allocated.cpu, 0.0),

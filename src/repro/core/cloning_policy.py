@@ -97,6 +97,14 @@ class CloningPolicy:
 
         ``occupancy`` lets callers that track clone usage incrementally
         (the simulation engine does) skip the full cluster scan.
+
+        Accounting contract: resources held by a clone return to the
+        budget the moment the engine releases the copy — first-copy-wins
+        kills, explicit kills and fault kills all decrement the
+        incremental occupancy on the spot, and the engine snaps it to
+        exactly zero when the last live clone exits, so a drained
+        cluster always exposes the full δ ceiling again (the sanitizer's
+        clone-budget invariant re-derives this from scratch each event).
         """
         if self.budget_fraction >= 1.0:
             return cluster.total_capacity

@@ -121,6 +121,18 @@ class DollyMPScheduler(Scheduler):
         self._measures.pop(job.job_id, None)
         self._priorities.pop(job.job_id, None)
 
+    def on_server_fail(self, server, orphans, view: "ClusterView") -> None:
+        # Deliberately no cache invalidation: a job's measure counts its
+        # *unfinished* tasks' volume/length, and a fault that kills
+        # copies (or requeues orphans) leaves every task unfinished that
+        # was unfinished before — the measure is unchanged.  The cache
+        # identity key is the *nominal* total capacity, which a down
+        # server doesn't alter, so cached priorities stay valid and the
+        # orphans simply re-enter the next pass's pending pool at their
+        # job's existing priority (clone-as-recovery: tasks that kept a
+        # live clone never even left RUNNING).
+        pass
+
     def priority_of(self, job: Job) -> int | None:
         return self._priorities.get(job.job_id)
 

@@ -1,0 +1,168 @@
+"""Fault-injection smoke (CI gate, DESIGN.md §5.5).
+
+Runs a churn-heavy DollyMP² simulation — the paper's 30-node
+heterogeneous cluster, mixed WordCount/PageRank jobs, an aggressive
+server-churn + copy-failure profile — with the runtime sanitizer
+validating every event, then proves the three properties the fault
+subsystem promises:
+
+1. **Activity** — the profile actually fired (servers failed, copies
+   were lost) and the workload still ran to completion;
+2. **Capacity conservation** — after the run, every up server exposes
+   exactly its capacity and every down server exposes exactly zero;
+3. **Determinism** — the recorded trace (JSONL round-tripped) replays
+   bit-identically with observability attached, and a second same-seed
+   run reproduces the first byte-for-byte.
+
+Run:  PYTHONPATH=src python -m repro.devtools.fault_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.core.online import DollyMPScheduler
+from repro.faults import FaultProfile
+from repro.observability import Observability
+from repro.resources import Resources
+from repro.sim.actions import DecisionTrace
+from repro.sim.replay import ReplayDivergence, assert_replay_identical, replay_trace
+from repro.sim.runner import run_recorded
+from repro.workload.mapreduce import pagerank_job, wordcount_job
+
+__all__ = ["main", "SMOKE_PROFILE"]
+
+#: Aggressive-but-survivable churn: a failure somewhere every ~3 simulated
+#: minutes, quick repairs, a light per-copy failure hazard on top.
+SMOKE_PROFILE = FaultProfile(
+    mtbf=180.0,
+    mttr=25.0,
+    copy_fail_rate=1.0 / 900.0,
+    slowdown_rate=1.0 / 600.0,
+)
+
+
+def _make_jobs():
+    jobs = []
+    for i in range(8):
+        if i % 2 == 0:
+            jobs.append(wordcount_job(4.0, arrival_time=45.0 * i, job_id=i))
+        else:
+            jobs.append(pagerank_job(1.0, arrival_time=45.0 * i, job_id=i))
+    return jobs
+
+
+def _run(observability=None):
+    return run_recorded(
+        paper_cluster_30_nodes(),
+        DollyMPScheduler(max_clones=2),
+        _make_jobs(),
+        seed=7,
+        sanitize=True,
+        observability=observability,
+        fault_profile=SMOKE_PROFILE,
+    )
+
+
+def _check_capacity(cluster) -> str | None:
+    """Post-run conservation: up ⇒ available == capacity (bitwise),
+    down ⇒ available == 0 (bitwise).  Returns an error string or None."""
+    for server in cluster:
+        if server.up:
+            # Exact comparison on purpose: a drained server must return
+            # to its capacity bit-for-bit.
+            if server.available != server.capacity:  # repro-lint: ignore[RL003]
+                return (
+                    f"up server {server.server_id} leaked capacity: "
+                    f"available {server.available} != capacity {server.capacity}"
+                )
+        elif server.available != Resources(0.0, 0.0):  # repro-lint: ignore[RL003]
+            return (
+                f"down server {server.server_id} exposes capacity: "
+                f"available {server.available} != 0"
+            )
+    return None
+
+
+def main() -> int:
+    cluster = paper_cluster_30_nodes()
+    result, trace = run_recorded(
+        cluster,
+        DollyMPScheduler(max_clones=2),
+        _make_jobs(),
+        seed=7,
+        sanitize=True,
+        fault_profile=SMOKE_PROFILE,
+    )
+    jobs_expected = len(_make_jobs())
+    if len(result.records) != jobs_expected:
+        print(
+            f"fault-smoke: expected {jobs_expected} finished jobs, got "
+            f"{len(result.records)}",
+            file=sys.stderr,
+        )
+        return 1
+    if result.faults_injected == 0 or result.copies_lost == 0:
+        print(
+            "fault-smoke: profile injected no faults "
+            f"(faults_injected={result.faults_injected}, "
+            f"copies_lost={result.copies_lost}) — the gate is vacuous",
+            file=sys.stderr,
+        )
+        return 1
+    err = _check_capacity(cluster)
+    if err is not None:
+        print(f"fault-smoke: {err}", file=sys.stderr)
+        return 1
+
+    # Determinism leg 1: JSONL round-trip + replay with observability.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "fault_decisions.jsonl"
+        trace.dump_jsonl(path)
+        loaded = DecisionTrace.load_jsonl(path)
+    if loaded.decisions != trace.decisions:
+        print("fault-smoke: JSONL round-trip mutated the trace", file=sys.stderr)
+        return 1
+    try:
+        replayed = replay_trace(
+            loaded,
+            paper_cluster_30_nodes(),
+            _make_jobs(),
+            sanitize=True,
+            observability=Observability(),
+        )
+        assert_replay_identical(result, replayed)
+    except ReplayDivergence as exc:
+        print(f"fault-smoke: replay DIVERGED — {exc}", file=sys.stderr)
+        return 1
+
+    # Determinism leg 2: a second same-seed run is byte-identical.
+    rerun, retrace = _run()
+    if retrace.decisions != trace.decisions:
+        print(
+            "fault-smoke: same-seed rerun produced a different decision trace",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        assert_replay_identical(result, rerun)
+    except ReplayDivergence as exc:
+        print(f"fault-smoke: same-seed rerun diverged — {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"fault-smoke: {result.faults_injected} faults "
+        f"({result.copies_lost} copies lost, "
+        f"{result.recoveries_masked_by_clone} masked by clones, "
+        f"{result.tasks_requeued} tasks requeued) over "
+        f"{len(result.records)} jobs; capacity conserved, "
+        f"{len(trace)} decisions replayed bit-identically"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

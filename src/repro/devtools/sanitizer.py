@@ -21,7 +21,17 @@ Invariants checked (paper references in parentheses):
   task's cached live-copy counter matches its copy list;
 * **negative-availability** — no availability or allocation entry is
   below ``-EPS`` anywhere;
-* **time-monotonicity** — simulated time never moves backwards.
+* **time-monotonicity** — simulated time never moves backwards;
+* **failed-server** — a crashed server (fault injection, DESIGN.md
+  §5.5) hosts nothing: zero allocation, zero advertised availability,
+  no resident copies, and the mirror's ``up`` flag agrees;
+* **requeue-coherence** — a PENDING task has zero live copies and each
+  phase's cached pending count matches its task states (fault requeues
+  must keep both in sync);
+* **clone-budget** — the engine's incremental ``clone_occupancy`` (the
+  δ-budget numerator of Sec. 5) equals the sum of live clone demands
+  re-derived from the cluster, and is exactly zero when no clone is
+  live.
 
 The sanitizer is O(servers + running copies) per event, so it roughly
 doubles simulation cost — keep it off for benchmarks and sweeps, on for
@@ -36,6 +46,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.resources import EPS
+from repro.workload.task import TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import SimulationEngine
@@ -63,6 +74,9 @@ class InvariantKind(enum.Enum):
     CLONE_BOUND = "clone-bound"
     NEGATIVE_AVAILABILITY = "negative-availability"
     TIME_MONOTONICITY = "time-monotonicity"
+    FAILED_SERVER = "failed-server"
+    REQUEUE_COHERENCE = "requeue-coherence"
+    CLONE_BUDGET = "clone-budget"
 
 
 @dataclass(frozen=True)
@@ -130,6 +144,7 @@ class SimulationSanitizer:
         out.extend(self._check_servers(event))
         out.extend(self._check_mirror(event))
         out.extend(self._check_clone_bounds(event))
+        out.extend(self._check_clone_budget(event))
         return out
 
     def after_event(self, event: str) -> None:
@@ -159,6 +174,27 @@ class SimulationSanitizer:
         out: list[SanitizerViolation] = []
         for server in self.engine.cluster:
             cap, alloc, avail = server.capacity, server.allocated, server.available
+            if not server.up:
+                # A crashed server hosts nothing: the Fail applier killed
+                # every resident first (snapping allocation to exactly
+                # zero) and mark_down zeroed the advertised availability.
+                problems = []
+                if server.running_copies:
+                    problems.append(f"{len(server.running_copies)} resident copies")
+                if alloc.cpu != 0.0 or alloc.mem != 0.0:
+                    problems.append(f"allocated={alloc!r}")
+                if avail.cpu != 0.0 or avail.mem != 0.0:
+                    problems.append(f"available={avail!r}")
+                if problems:
+                    out.append(
+                        SanitizerViolation(
+                            InvariantKind.FAILED_SERVER,
+                            "down server still holds " + ", ".join(problems),
+                            event,
+                            server_id=server.server_id,
+                        )
+                    )
+                continue
             for dim in ("cpu", "mem"):
                 a = getattr(alloc, dim)
                 v = getattr(avail, dim)
@@ -229,6 +265,7 @@ class SimulationSanitizer:
                 ("alloc_mem", mirror.alloc_mem[i], server.allocated.mem),
                 ("cap_cpu", mirror.cap_cpu[i], server.capacity.cpu),
                 ("cap_mem", mirror.cap_mem[i], server.capacity.mem),
+                ("up", bool(mirror.up[i]), server.up),
             )
             for name, mirrored, truth in pairs:
                 if mirrored != truth:
@@ -257,6 +294,19 @@ class SimulationSanitizer:
         for job_id in sorted(self.engine.active_jobs):
             job = self.engine.active_jobs[job_id]
             for phase in job.phases:
+                pending = sum(
+                    1 for t in phase.tasks if t.state is TaskState.PENDING
+                )
+                if pending != phase.num_pending:
+                    out.append(
+                        SanitizerViolation(
+                            InvariantKind.REQUEUE_COHERENCE,
+                            f"phase {phase.index}: cached pending count "
+                            f"{phase.num_pending} != actual {pending}",
+                            event,
+                            job_id=job_id,
+                        )
+                    )
                 for task in phase.tasks:
                     live = 0
                     for copy in task.copies:
@@ -276,6 +326,16 @@ class SimulationSanitizer:
                                     task_uid=task.uid,
                                 )
                             )
+                    if task.state is TaskState.PENDING and live:
+                        out.append(
+                            SanitizerViolation(
+                                InvariantKind.REQUEUE_COHERENCE,
+                                f"PENDING task holds {live} live copies",
+                                event,
+                                job_id=job_id,
+                                task_uid=task.uid,
+                            )
+                        )
                     if live != task.num_live_copies:
                         out.append(
                             SanitizerViolation(
@@ -299,15 +359,70 @@ class SimulationSanitizer:
                                 task_uid=task.uid,
                             )
                         )
-                    if lifetime_cap is not None and len(task.copies) > lifetime_cap:
+                    # Fault-killed copies don't count against the
+                    # lifetime cap (they never competed for the task).
+                    if (
+                        lifetime_cap is not None
+                        and len(task.copies) - task.fault_losses > lifetime_cap
+                    ):
                         out.append(
                             SanitizerViolation(
                                 InvariantKind.CLONE_BOUND,
-                                f"{len(task.copies)} total copies exceed "
+                                f"{len(task.copies)} total copies "
+                                f"({task.fault_losses} fault losses) exceed "
                                 f"max_copies_per_task={lifetime_cap}",
                                 event,
                                 job_id=job_id,
                                 task_uid=task.uid,
                             )
                         )
+        return out
+
+    def _check_clone_budget(self, event: str) -> list[SanitizerViolation]:
+        """The incremental clone occupancy must match a from-scratch
+        rescan of live clone copies — the δ-budget accounting of
+        ``CloningPolicy.budget_remaining`` reads it every pass, so any
+        leak here silently starves (or overruns) cloning."""
+        out: list[SanitizerViolation] = []
+        engine = self.engine
+        occ = engine.clone_occupancy
+        sum_cpu = 0.0
+        sum_mem = 0.0
+        live_clones = 0
+        for server in engine.cluster:
+            for copy in server.running_copies:
+                if copy.is_clone and copy.live:
+                    live_clones += 1
+                    sum_cpu += copy.task.demand.cpu
+                    sum_mem += copy.task.demand.mem
+        if occ.cpu < 0.0 or occ.mem < 0.0:
+            out.append(
+                SanitizerViolation(
+                    InvariantKind.CLONE_BUDGET,
+                    f"clone occupancy went negative: {occ!r}",
+                    event,
+                )
+            )
+        if live_clones == 0:
+            # The release path snaps to exactly zero with the last live
+            # clone — bitwise, not within-EPS, by design.
+            if occ.cpu != 0.0 or occ.mem != 0.0:
+                out.append(
+                    SanitizerViolation(
+                        InvariantKind.CLONE_BUDGET,
+                        f"no live clones but clone occupancy is {occ!r}",
+                        event,
+                    )
+                )
+            return out
+        tol = EPS * (engine.clones_launched + 1)
+        if abs(occ.cpu - sum_cpu) > tol or abs(occ.mem - sum_mem) > tol:
+            out.append(
+                SanitizerViolation(
+                    InvariantKind.CLONE_BUDGET,
+                    f"clone occupancy {occ!r} != sum of {live_clones} live "
+                    f"clone demands ({sum_cpu:g}, {sum_mem:g})",
+                    event,
+                )
+            )
         return out

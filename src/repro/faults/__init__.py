@@ -1,0 +1,20 @@
+"""Deterministic fault injection (DESIGN.md §5.5).
+
+Seeded failure processes — server crash/recover churn, per-copy task
+failure, transient server slowdown — driven through the simulation
+engine's event queue and action protocol.  See
+:class:`~repro.faults.profile.FaultProfile` for the model parameters
+and :class:`~repro.faults.injector.FaultInjector` for the determinism
+contract.
+"""
+
+from repro.faults.injector import CHURN_SEED_OFFSET, FaultInjector
+from repro.faults.profile import FAULT_PROFILES, FaultProfile, named_profile
+
+__all__ = [
+    "FaultProfile",
+    "FaultInjector",
+    "FAULT_PROFILES",
+    "named_profile",
+    "CHURN_SEED_OFFSET",
+]

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from repro.observability.registry import MetricsRegistry, log2_buckets
 
-__all__ = ["SimInstruments"]
+__all__ = ["SimInstruments", "FaultInstruments"]
 
 #: Sub-second wall timings need finer low buckets than sim durations:
 #: ~1 µs to ~1 s in doubling steps.
@@ -173,3 +173,49 @@ class SimInstruments:
                 for _ in range(n):
                     cpu.observe(phase.demand.cpu)
                     mem.observe(phase.demand.mem)
+
+
+class FaultInstruments:
+    """Fault-injection metric families (DESIGN.md §5.5).
+
+    Registered **only** when a run has a fault injector attached — a
+    no-fault run's metric snapshot must stay byte-identical to a build
+    without the fault subsystem, so these families never appear in it.
+    """
+
+    __slots__ = (
+        "server_fails",
+        "server_recovers",
+        "copy_fails",
+        "slowdowns",
+        "copies_lost",
+        "masked_by_clone",
+        "tasks_requeued",
+        "servers_down",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        injected = registry.counter(
+            "repro_faults_injected_total",
+            "fault events injected, by kind",
+            ("kind",),
+        )
+        self.server_fails = injected.labels(kind="server_fail")
+        self.server_recovers = injected.labels(kind="server_recover")
+        self.copy_fails = injected.labels(kind="copy_fail")
+        self.slowdowns = injected.labels(kind="slowdown")
+        self.copies_lost = registry.counter(
+            "repro_faults_copies_lost_total",
+            "task copies killed by injected faults",
+        )
+        self.masked_by_clone = registry.counter(
+            "repro_faults_recoveries_masked_by_clone_total",
+            "fault-killed copies whose task kept running on a surviving clone",
+        )
+        self.tasks_requeued = registry.counter(
+            "repro_faults_tasks_requeued_total",
+            "tasks orphaned by faults and returned to the pending pool",
+        )
+        self.servers_down = registry.gauge(
+            "repro_faults_servers_down", "servers currently failed"
+        )

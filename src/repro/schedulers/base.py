@@ -45,6 +45,21 @@ class Scheduler(abc.ABC):
     def on_job_finish(self, job: "Job", view: "ClusterView") -> None:
         """Hook: every phase of the job completed."""
 
+    # -- fault notifications (DESIGN.md §5.5; no-ops absent injection) --
+    def on_server_fail(self, server, orphans, view: "ClusterView") -> None:
+        """Hook: ``server`` crashed.  Its resident copies were killed
+        and ``orphans`` (tasks whose *last* live copy died — tasks that
+        kept a surviving clone are not in it) are back in the pending
+        pool.  The default policy response is nothing: orphans are
+        re-placed by the next schedule pass like any pending task."""
+
+    def on_server_recover(self, server, view: "ClusterView") -> None:
+        """Hook: a crashed server returned at full capacity."""
+
+    def on_copy_failure(self, copy, view: "ClusterView") -> None:
+        """Hook: one copy died to an injected fault (its server is still
+        up).  ``copy.task`` either survives on a clone or was requeued."""
+
     @abc.abstractmethod
     def schedule(self, view: "ClusterView") -> None:
         """Emit ``Launch`` actions via ``view.apply``/``view.launch``

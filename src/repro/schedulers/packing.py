@@ -102,6 +102,8 @@ class _Candidate:
         self.best_server = None
         self.best_score = -1.0
         for s in servers:
+            if not s.up:
+                continue
             avail = s.available
             if not demand.fits_in(avail):
                 continue
@@ -190,8 +192,10 @@ def _fill_tasks_vectorized(
     scores = d_cpu[:, None] * mirror.avail_cpu[None, :] + d_mem[:, None] * mirror.avail_mem[None, :]
     if weights is not None:
         scores *= weights[None, :]
-    fits = (mirror.avail_cpu[None, :] + EPS >= d_cpu[:, None]) & (
-        mirror.avail_mem[None, :] + EPS >= d_mem[:, None]
+    fits = (
+        mirror.up[None, :]
+        & (mirror.avail_cpu[None, :] + EPS >= d_cpu[:, None])
+        & (mirror.avail_mem[None, :] + EPS >= d_mem[:, None])
     )
     scores[~fits] = -np.inf
 
@@ -216,7 +220,7 @@ def _fill_tasks_vectorized(
         col = d_cpu * a_cpu + d_mem * a_mem
         if weights is not None:
             col *= weights[sj]
-        col[~((a_cpu + EPS >= d_cpu) & (a_mem + EPS >= d_mem))] = -np.inf
+        col[~(mirror.up[sj] & (a_cpu + EPS >= d_cpu) & (a_mem + EPS >= d_mem))] = -np.inf
         scores[:, sj] = col
         if any_dead:
             scores[dead, sj] = -np.inf  # exhausted candidates stay dead

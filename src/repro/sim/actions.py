@@ -13,8 +13,10 @@ batched application and multi-process sharding.
 
 Three layers:
 
-* **Actions** (`Launch`, `Kill`) reference live simulation objects and
-  are what policy code constructs and hands to ``view.apply``.
+* **Actions** (`Launch`, `Kill`, plus the fault-injector's `Fail` /
+  `Recover`) reference live simulation objects and are what policy code
+  (or the deterministic fault processes of :mod:`repro.faults`)
+  constructs and hands to the engine's ``apply``.
 * **Decisions** are the serializable residue of an applied action: pure
   ints/floats/strs identifying the task/copy/server *structurally*
   (job id, phase index, task index, copy index), so a recorded decision
@@ -44,7 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "Launch",
     "Kill",
+    "Fail",
+    "Recover",
     "Action",
+    "FAULT_POLICY",
     "Decision",
     "DecisionTrace",
     "InvalidAction",
@@ -55,6 +60,10 @@ __all__ = [
 
 #: JSONL schema tag written in the header line of an exported trace.
 TRACE_SCHEMA = "repro-decision-trace/v1"
+
+#: ``Decision.policy`` value for journal entries originated by the
+#: fault injector rather than a scheduling policy.
+FAULT_POLICY = "fault-injector"
 
 #: Default bound on a DecisionTrace.  Generous (a 10k-job trace-sim run
 #: stays well under 1M decisions) yet finite, so a runaway scheduler
@@ -91,7 +100,32 @@ class Kill:
     copy: "TaskCopy"
 
 
-Action = Union[Launch, Kill]
+@dataclass(frozen=True)
+class Fail:
+    """Mark a server failed (crash semantics, :mod:`repro.faults`).
+
+    The engine kills every resident copy (engine-internal kills, like
+    first-copy-wins preemption), zeroes the server's availability in
+    both the scalar bookkeeping and the vectorized mirror, and re-queues
+    tasks left with no live copy as PENDING.  Failing an already-down
+    server raises :class:`InvalidAction`.
+    """
+
+    server: "Server"
+
+
+@dataclass(frozen=True)
+class Recover:
+    """Return a failed server to service with its full capacity.
+
+    Recovering a server that is already up raises
+    :class:`InvalidAction`.
+    """
+
+    server: "Server"
+
+
+Action = Union[Launch, Kill, Fail, Recover]
 
 
 # ======================================================================
@@ -152,9 +186,10 @@ class Decision:
     seq: int          # position in the trace (0-based, dense)
     time: float       # simulated time of application
     point: int        # decision-point ordinal (see above)
-    cause: str        # entry point kind: job_arrival | task_finish | job_finish | schedule
-    policy: str       # scheduler name that emitted the action
-    kind: str         # "launch" | "kill"
+    cause: str        # entry point kind: job_arrival | task_finish | job_finish |
+                      # schedule | server_fail | server_recover | copy_fail
+    policy: str       # scheduler name that emitted the action (or FAULT_POLICY)
+    kind: str         # "launch" | "kill" | "fail" | "recover"
     job_id: int
     phase_index: int
     task_index: int

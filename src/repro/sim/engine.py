@@ -8,7 +8,11 @@ the paper's prototype, reduced to what the evaluation metrics observe):
 * phase dependency gating (Eq. 7) and job completion tracking (Eq. 8);
 * clone lifecycle: independent duration sampling per copy, first-copy-
   wins completion, killing of the remaining copies (Secs. 3, 5);
-* utilization/overhead accounting for the evaluation figures.
+* utilization/overhead accounting for the evaluation figures;
+* optional fault injection (DESIGN.md §5.5): server crash/recover
+  churn, per-copy failures and transient slowdowns scheduled by a
+  :class:`~repro.faults.injector.FaultInjector` and applied through the
+  same validated ``apply`` choke point (``Fail``/``Recover`` actions).
 
 Scheduling policy is fully delegated to a
 :class:`~repro.schedulers.base.Scheduler` through :class:`ClusterView`.
@@ -41,17 +45,22 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
 from repro.devtools.sanitizer import SimulationSanitizer, sanitize_default
+from repro.faults import FaultInjector, FaultProfile
 from repro.observability import Observability, PhaseProfiler, observability_default
+from repro.observability.instruments import FaultInstruments
 from repro.resources import Resources
 from repro.sim.actions import (
+    FAULT_POLICY,
     Action,
     Decision,
     DecisionTrace,
+    Fail,
     InvalidAction,
     Kill,
     Launch,
+    Recover,
 )
-from repro.sim.events import EventKind, EventQueue
+from repro.sim.events import BASE_EVENT_KINDS, EventKind, EventQueue
 from repro.sim.metrics import SimulationResult, build_result
 from repro.workload.job import Job
 from repro.workload.task import Task, TaskCopy, TaskState
@@ -138,6 +147,8 @@ class SimulationEngine:
         trace_maxlen: int | None = None,
         observability: Observability | None = None,
         profile: bool | None = None,
+        fault_profile: FaultProfile | None = None,
+        churn_seed: int | None = None,
     ) -> None:
         if schedule_interval < 0:
             raise ValueError("schedule_interval must be non-negative")
@@ -161,6 +172,24 @@ class SimulationEngine:
         self.finished_jobs: list[Job] = []
         self.view = ClusterView(self)
 
+        # Fault injection (DESIGN.md §5.5).  The injector owns a third
+        # RNG stream (churn_seed), so a run with faults disabled draws
+        # the exact same duration/policy sequences as a build without
+        # the fault subsystem at all.
+        if fault_profile is not None and not fault_profile.enabled:
+            fault_profile = None
+        self.faults: FaultInjector | None = (
+            FaultInjector(self, fault_profile, churn_seed=churn_seed, seed=seed)
+            if fault_profile is not None
+            else None
+        )
+        self._pending_arrivals = len(self.jobs)
+        self._orphaned: list[Task] = []
+        self.faults_injected = 0
+        self.copies_lost = 0
+        self.recoveries_masked_by_clone = 0
+        self.tasks_requeued = 0
+
         # Decision journal (DESIGN.md §5.3).  `_decision_point` numbers
         # scheduler entry points; `_decision_cause` names the event kind
         # that opened the current one.  Both are metadata on recorded
@@ -176,6 +205,7 @@ class SimulationEngine:
         self.clones_launched = 0
         self.copies_launched = 0
         self.clone_occupancy = Resources(0.0, 0.0)
+        self._live_clone_count = 0
         self.schedule_pass_seconds: list[float] = []
         self._alloc_integral_cpu = 0.0
         self._alloc_integral_mem = 0.0
@@ -208,15 +238,25 @@ class SimulationEngine:
         # Pre-bound per-EventKind counter children and span names keep
         # the per-event cost to one dict hit + one attribute bump.
         if ins is not None:
-            self._ev_child = {
-                k: ins.events.labels(kind=k.name.lower()) for k in EventKind
-            }
-            self._dp_child = {
-                c: ins.decision_points.labels(cause=c)
-                for c in ("job_arrival", "task_finish", "job_finish", "schedule")
-            }
+            # Fault event kinds and decision causes are bound only when
+            # an injector is attached: a no-fault run's metric snapshot
+            # must stay byte-identical to one from a build without the
+            # fault subsystem.
+            kinds = tuple(EventKind) if self.faults is not None else BASE_EVENT_KINDS
+            self._ev_child = {k: ins.events.labels(kind=k.name.lower()) for k in kinds}
+            causes = ["job_arrival", "task_finish", "job_finish", "schedule"]
+            if self.faults is not None:
+                causes += ["server_fail", "server_recover", "copy_fail"]
+            self._dp_child = {c: ins.decision_points.labels(cause=c) for c in causes}
         else:
             self._ev_child = self._dp_child = None
+        self._fault_ins = (
+            FaultInstruments(observability.registry)
+            if self.faults is not None
+            and observability is not None
+            and observability.registry is not None
+            else None
+        )
         self._ev_span_name = {k: f"event:{k.name.lower()}" for k in EventKind}
 
         self._validate_feasible()
@@ -284,6 +324,30 @@ class SimulationEngine:
             if ins is not None:
                 ins.kills.inc()
             return None
+        if isinstance(action, Fail):
+            server = action.server
+            if not server.up:
+                raise InvalidAction(
+                    f"server {server.server_id} is already down at t={self.now:g}",
+                    kind="fail",
+                    time=self.now,
+                    server_id=server.server_id,
+                )
+            self._apply_fail(server)
+            self._record_fault("fail", server.server_id)
+            return None
+        if isinstance(action, Recover):
+            server = action.server
+            if server.up:
+                raise InvalidAction(
+                    f"server {server.server_id} is already up at t={self.now:g}",
+                    kind="recover",
+                    time=self.now,
+                    server_id=server.server_id,
+                )
+            self._apply_recover(server)
+            self._record_fault("recover", server.server_id)
+            return None
         raise TypeError(f"not an action: {action!r}")
 
     def _record(
@@ -315,6 +379,30 @@ class SimulationEngine:
             )
         )
 
+    def _record_fault(self, kind: str, server_id: int) -> None:
+        """Journal a Fail/Recover.  Fault actions carry no task, so the
+        task coordinates are -1 sentinels and the policy column names
+        the injector rather than the scheduler — replay filters these
+        out and re-derives them from its own injector."""
+        if self.trace is None:
+            return
+        self.trace.append(
+            Decision(
+                seq=len(self.trace),
+                time=self.now,
+                point=self._decision_point,
+                cause=self._decision_cause,
+                policy=FAULT_POLICY,
+                kind=kind,
+                job_id=-1,
+                phase_index=-1,
+                task_index=-1,
+                server_id=server_id,
+                clone=False,
+                copy_index=None,
+            )
+        )
+
     # ------------------------------------------------------------------
     # Validation (raises InvalidAction before any state is touched)
     # ------------------------------------------------------------------
@@ -339,11 +427,15 @@ class SimulationEngine:
                 f"task {task.uid}: parent phases unfinished or shuffle "
                 f"delay pending (Eq. 7 violated)"
             )
+        # Fault-killed copies don't count against the lifetime cap: a
+        # task that lost its work to a crash may be relaunched.
         if (
             self.max_copies_per_task is not None
-            and len(task.copies) >= self.max_copies_per_task
+            and len(task.copies) - task.fault_losses >= self.max_copies_per_task
         ):
             raise bad(f"task {task.uid}: copy cap {self.max_copies_per_task} reached")
+        if not server.up:
+            raise bad(f"server {server.server_id} is down")
         if not server.can_fit(task.demand):
             raise bad(
                 f"server {server.server_id}: cannot fit {task.demand} "
@@ -369,7 +461,11 @@ class SimulationEngine:
     # Appliers (assume validated input; used by apply() and internally)
     # ------------------------------------------------------------------
     def _apply_launch(self, task: Task, server: Server, *, clone: bool) -> TaskCopy:
-        is_clone = clone or task.has_run
+        # A RUNNING task already has a live copy, so any further launch
+        # is a clone even if the policy didn't flag it.  Keyed on state
+        # rather than `has_run`: a fault-requeued task keeps its dead
+        # copies in the history, but its next launch is a fresh primary.
+        is_clone = clone or task.state is TaskState.RUNNING
         self._account_until(self.now)
         duration = self._sample_duration(task, server)
         copy = TaskCopy(task, server.server_id, self.now, duration, is_clone=is_clone)
@@ -379,6 +475,7 @@ class SimulationEngine:
         self.copies_launched += 1
         if is_clone:
             self.clones_launched += 1
+            self._live_clone_count += 1
             self.clone_occupancy = self.clone_occupancy + task.demand
         ins = self._ins
         if ins is not None:
@@ -386,6 +483,8 @@ class SimulationEngine:
             if is_clone:
                 ins.clones.inc()
             ins.copy_duration.observe(duration)
+        if self.faults is not None:
+            self.faults.on_copy_launched(copy)
         return copy
 
     def _apply_kill(self, copy: TaskCopy) -> None:
@@ -396,9 +495,71 @@ class SimulationEngine:
         copy.duration = max(self.now - copy.start_time, 1e-12)
         self.cluster[copy.server_id].release(copy)
         if copy.is_clone:
+            self._release_clone(copy.task)
+
+    def _release_clone(self, task: Task) -> None:
+        """Return one clone's demand to the incremental δ-budget
+        occupancy.  Snaps to exactly zero when the last live clone
+        leaves (mirroring Server.release's idle snap), so repeated
+        add/subtract rounding cannot leak budget across a long run —
+        `CloningPolicy.budget_remaining` sees the full δ ceiling again
+        whenever no clone is live."""
+        self._live_clone_count -= 1
+        if self._live_clone_count <= 0:
+            self._live_clone_count = 0
+            self.clone_occupancy = Resources(0.0, 0.0)
+        else:
             self.clone_occupancy = (
-                self.clone_occupancy - copy.task.demand
+                self.clone_occupancy - task.demand
             ).clamp_nonnegative()
+
+    def _apply_fail(self, server: Server) -> None:
+        """Crash one server: kill every resident copy (deterministic
+        copy-uid order), take the capacity out of both placement paths,
+        and sort each victim task into clone-masked vs orphaned.  The
+        kills are engine consequences of the Fail action, not scheduler
+        decisions, so they bypass the journal like first-copy-wins kills."""
+        self._account_until(self.now)
+        victims = sorted(server.running_copies, key=lambda c: c.copy_uid)
+        tasks: list[Task] = []
+        for copy in victims:
+            self._apply_kill(copy)
+            copy.task.fault_losses += 1
+            if copy.task not in tasks:
+                tasks.append(copy.task)
+        server.mark_down()
+        requeued: list[Task] = []
+        masked = 0
+        for task in tasks:
+            if task.num_live_copies > 0:
+                masked += 1  # a surviving clone carries the task
+            else:
+                task.requeue()
+                requeued.append(task)
+        self.faults_injected += 1
+        self.copies_lost += len(victims)
+        self.recoveries_masked_by_clone += masked
+        self.tasks_requeued += len(requeued)
+        self._orphaned = requeued
+        fins = self._fault_ins
+        if fins is not None:
+            fins.server_fails.inc()
+            if victims:
+                fins.copies_lost.inc(len(victims))
+            if masked:
+                fins.masked_by_clone.inc(masked)
+            if requeued:
+                fins.tasks_requeued.inc(len(requeued))
+            fins.servers_down.set(len(self.cluster) - self.cluster.num_up())
+
+    def _apply_recover(self, server: Server) -> None:
+        """Return a crashed server to service at full capacity."""
+        self._account_until(self.now)
+        server.mark_up()
+        fins = self._fault_ins
+        if fins is not None:
+            fins.server_recovers.inc()
+            fins.servers_down.set(len(self.cluster) - self.cluster.num_up())
 
     # -- back-compat imperative entry points (thin action wrappers) -----
     def launch_copy(self, task: Task, server: Server, *, clone: bool = False) -> TaskCopy:
@@ -456,10 +617,16 @@ class SimulationEngine:
             dp[cause].inc()
 
     def _policy_entry(self, cause: str, hook, *args) -> None:
-        """Open a decision point and run one scheduler hook, wrapped in
-        a ``decision:<cause>`` span and a ``scheduler`` profiler frame
-        when observability is enabled."""
+        """Open a decision point and run one scheduler hook."""
         self._open_decision_point(cause)
+        self._run_hook(cause, hook, *args)
+
+    def _run_hook(self, cause: str, hook, *args) -> None:
+        """Run one scheduler hook inside the *current* decision point,
+        wrapped in a ``decision:<cause>`` span and a ``scheduler``
+        profiler frame when observability is enabled.  Fault processors
+        open the point themselves so the Fail/Recover decision is
+        journaled at the same ordinal the hook runs under."""
         obs = self.observability
         if obs is None:
             hook(*args, self.view)
@@ -481,6 +648,7 @@ class SimulationEngine:
                 tracer.exit(span)
 
     def _process_arrival(self, job: Job) -> None:
+        self._pending_arrivals -= 1
         self.active_jobs[job.job_id] = job
         ins = self._ins
         if ins is not None:
@@ -494,9 +662,7 @@ class SimulationEngine:
         copy.finished = True
         self.cluster[copy.server_id].release(copy)
         if copy.is_clone:
-            self.clone_occupancy = (
-                self.clone_occupancy - task.demand
-            ).clamp_nonnegative()
+            self._release_clone(task)
         if task.state is TaskState.FINISHED:
             return  # another copy already won (equal-time tie)
         # First copy wins: kill the rest and complete the task.  These
@@ -524,6 +690,92 @@ class SimulationEngine:
             self._policy_entry("job_finish", self.scheduler.on_job_finish, job)
         elif task.phase.is_finished:
             self._arm_delayed_children(job, task.phase)
+
+    # ------------------------------------------------------------------
+    # Fault event processing (DESIGN.md §5.5)
+    # ------------------------------------------------------------------
+    def workload_active(self) -> bool:
+        """Whether unfinished jobs exist or are still to arrive — the
+        predicate gating fault-chain extension and the drain break."""
+        return bool(self.active_jobs) or self._pending_arrivals > 0
+
+    def _process_fault_event(self, ev) -> bool:
+        """Dispatch one injector-scheduled event; returns whether the
+        cluster state changed in a way that warrants a schedule pass."""
+        kind = ev.kind
+        if kind is EventKind.SERVER_FAIL:
+            return self._process_server_fail(ev.payload)
+        if kind is EventKind.SERVER_RECOVER:
+            return self._process_server_recover(ev.payload)
+        if kind is EventKind.COPY_FAIL:
+            return self._process_copy_fail(ev.payload)
+        faults = self.faults
+        assert faults is not None
+        if kind is EventKind.SERVER_SLOW_START:
+            faults.on_slow_start(ev.payload)
+            self.faults_injected += 1
+            if self._fault_ins is not None:
+                self._fault_ins.slowdowns.inc()
+        else:  # SERVER_SLOW_END
+            faults.on_slow_end(ev.payload)
+        return False  # slowdowns don't change placement feasibility
+
+    def _process_server_fail(self, server: Server) -> bool:
+        faults = self.faults
+        assert faults is not None
+        if not server.up:
+            return False  # defensive: chains schedule one fail per server
+        if faults.profile.keep_one_up and self.cluster.num_up() <= 1:
+            # Never crash the last healthy server — but extend the
+            # renewal chain anyway so the failure process (and its RNG
+            # stream position) is independent of cluster state.
+            faults.schedule_next_failure(server)
+            return False
+        self._open_decision_point("server_fail")
+        self.apply(Fail(server))
+        orphans = self._orphaned
+        self._orphaned = []
+        self._run_hook("server_fail", self.scheduler.on_server_fail, server, orphans)
+        faults.schedule_recovery(server)
+        return True
+
+    def _process_server_recover(self, server: Server) -> bool:
+        faults = self.faults
+        assert faults is not None
+        if server.up:
+            return False  # defensive: one recovery is scheduled per crash
+        self._open_decision_point("server_recover")
+        self.apply(Recover(server))
+        self._run_hook("server_recover", self.scheduler.on_server_recover, server)
+        faults.schedule_next_failure(server)
+        return True
+
+    def _process_copy_fail(self, copy: TaskCopy) -> bool:
+        if not copy.live:
+            return False  # stale: the copy finished or was killed first
+        task = copy.task
+        self._apply_kill(copy)
+        task.fault_losses += 1
+        self.faults_injected += 1
+        self.copies_lost += 1
+        if task.num_live_copies > 0:
+            self.recoveries_masked_by_clone += 1
+            masked = True
+        else:
+            task.requeue()
+            self.tasks_requeued += 1
+            masked = False
+        fins = self._fault_ins
+        if fins is not None:
+            fins.copy_fails.inc()
+            fins.copies_lost.inc()
+            if masked:
+                fins.masked_by_clone.inc()
+            else:
+                fins.tasks_requeued.inc()
+        self._open_decision_point("copy_fail")
+        self._run_hook("copy_fail", self.scheduler.on_copy_failure, copy)
+        return True
 
     def _arm_delayed_children(self, job: Job, finished_phase) -> None:
         """A phase with a shuffle delay becomes schedulable strictly
@@ -574,6 +826,8 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         for job in self.jobs:
             self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
+        if self.faults is not None:
+            self.faults.prime()
         slotted = self.schedule_interval > 0
         if slotted:
             first = self.jobs[0].arrival_time
@@ -588,6 +842,8 @@ class SimulationEngine:
         run_t0 = _wallclock.perf_counter()
 
         while self.events:
+            if self.faults is not None and not self.workload_active():
+                break  # only fault events remain once the workload drains
             ev = self.events.pop()
             if ev.time > self.max_time:
                 raise RuntimeError(
@@ -610,6 +866,8 @@ class SimulationEngine:
                 elif ev.kind is EventKind.COPY_FINISH:
                     self._process_copy_finish(ev.payload)
                     dirty = True
+                elif ev.kind is not EventKind.SCHEDULE_TICK:
+                    dirty = self._process_fault_event(ev)
                 else:  # SCHEDULE_TICK
                     dirty = False
                     self._run_schedule_pass()

@@ -2,15 +2,27 @@
 
 The paper models a time-slotted system (Sec. 3); the engine is
 event-driven with an optional slot quantization of scheduling decisions
-(Sec. 6.3 uses 5-second slots).  Three event kinds exist:
+(Sec. 6.3 uses 5-second slots).  The workload event kinds:
 
 * ``JOB_ARRIVAL`` — job j becomes known to the scheduler at a_j;
 * ``COPY_FINISH`` — a task copy reaches its sampled duration;
 * ``SCHEDULE_TICK`` — a slot boundary at which scheduling decisions are
   made (only used when the engine runs in slotted mode).
 
+The fault-injection subsystem (:mod:`repro.faults`) adds its own kinds,
+scheduled by the seeded failure processes:
+
+* ``COPY_FAIL`` — one task copy dies mid-run (its server stays up);
+* ``SERVER_FAIL`` / ``SERVER_RECOVER`` — a server crashes (killing every
+  resident copy) and later rejoins with full capacity;
+* ``SERVER_SLOW_START`` / ``SERVER_SLOW_END`` — a transient background-
+  load window multiplying the server's slowdown factor.
+
 Ties at equal timestamps are broken so state-changing events (finishes,
-arrivals) are processed before the tick that should observe them.
+arrivals, faults) are processed before the tick that should observe
+them.  The relative order of the original three kinds (COPY_FINISH <
+JOB_ARRIVAL < SCHEDULE_TICK) is preserved, so runs without fault
+injection break ties exactly as they did before the fault kinds existed.
 """
 
 from __future__ import annotations
@@ -21,14 +33,30 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = ["EventKind", "BASE_EVENT_KINDS", "Event", "EventQueue"]
 
 
 class EventKind(enum.IntEnum):
-    # Numeric order = processing priority at equal timestamps.
+    # Numeric order = processing priority at equal timestamps.  A copy
+    # finishing exactly when it would fail counts as finished (FINISH
+    # precedes FAIL); every fault lands before the tick observing it.
     COPY_FINISH = 0
     JOB_ARRIVAL = 1
-    SCHEDULE_TICK = 2
+    COPY_FAIL = 2
+    SERVER_FAIL = 3
+    SERVER_RECOVER = 4
+    SERVER_SLOW_START = 5
+    SERVER_SLOW_END = 6
+    SCHEDULE_TICK = 7
+
+
+#: The kinds every simulation uses; the remaining members only appear
+#: when a :class:`repro.faults.FaultInjector` is attached to the engine.
+BASE_EVENT_KINDS = (
+    EventKind.COPY_FINISH,
+    EventKind.JOB_ARRIVAL,
+    EventKind.SCHEDULE_TICK,
+)
 
 
 @dataclass(order=True)

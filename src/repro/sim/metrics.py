@@ -70,6 +70,11 @@ class SimulationResult:
     copies_launched: int
     simulated_time: float
     schedule_pass_seconds: tuple[float, ...]
+    # Fault accounting (DESIGN.md §5.5) — all zero absent injection.
+    faults_injected: int = 0
+    copies_lost: int = 0
+    recoveries_masked_by_clone: int = 0
+    tasks_requeued: int = 0
 
     # ------------------------------------------------------------------
     # Vector accessors (sorted by job id so runs are comparable job-wise)
@@ -142,7 +147,7 @@ class SimulationResult:
         return np.arange(1, len(order) + 1), np.cumsum(flows)
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "jobs": float(self.num_jobs),
             "total_flowtime": self.total_flowtime,
             "mean_flowtime": self.mean_flowtime,
@@ -155,6 +160,14 @@ class SimulationResult:
             "avg_mem_utilization": self.avg_utilization.mem,
             "mean_schedule_pass_ms": self.mean_schedule_pass_ms,
         }
+        # Fault keys appear only when faults fired, so no-fault summaries
+        # stay byte-identical to a build without the fault subsystem.
+        if self.faults_injected:
+            out["faults_injected"] = float(self.faults_injected)
+            out["copies_lost"] = float(self.copies_lost)
+            out["recoveries_masked_by_clone"] = float(self.recoveries_masked_by_clone)
+            out["tasks_requeued"] = float(self.tasks_requeued)
+        return out
 
 
 def record_for_job(job: "Job") -> JobRecord:
@@ -207,4 +220,8 @@ def build_result(engine: "SimulationEngine") -> SimulationResult:
         copies_launched=engine.copies_launched,
         simulated_time=engine.now,
         schedule_pass_seconds=tuple(engine.schedule_pass_seconds),
+        faults_injected=engine.faults_injected,
+        copies_lost=engine.copies_lost,
+        recoveries_masked_by_clone=engine.recoveries_masked_by_clone,
+        tasks_requeued=engine.tasks_requeued,
     )

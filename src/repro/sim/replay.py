@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.faults import FaultProfile
 from repro.schedulers.base import Scheduler
 from repro.sim.actions import Decision, DecisionTrace, Kill, Launch
 from repro.sim.engine import SimulationEngine
@@ -65,7 +66,17 @@ class ReplayScheduler(Scheduler):
     """
 
     def __init__(self, decisions: Iterable[Decision], *, name: str | None = None) -> None:
-        self._decisions: list[Decision] = sorted(decisions, key=lambda d: d.seq)
+        # Fault decisions (kind "fail"/"recover") are journaled for the
+        # audit trail but filtered here: the replay engine re-injects
+        # them through its own reconstructed FaultInjector (same
+        # churn_seed ⇒ same realization), so re-applying them from the
+        # trace would fail/recover each server twice.  The entry-point
+        # ordinals still line up because the fault hooks below advance
+        # the point counter exactly as the recording engine did.
+        self._decisions: list[Decision] = sorted(
+            (d for d in decisions if d.kind in ("launch", "kill")),
+            key=lambda d: d.seq,
+        )
         self._cursor = 0
         self._point = 0
         if name is not None:
@@ -86,6 +97,15 @@ class ReplayScheduler(Scheduler):
         self._advance(view)
 
     def schedule(self, view: "ClusterView") -> None:
+        self._advance(view)
+
+    def on_server_fail(self, server, orphans, view: "ClusterView") -> None:
+        self._advance(view)
+
+    def on_server_recover(self, server, view: "ClusterView") -> None:
+        self._advance(view)
+
+    def on_copy_failure(self, copy, view: "ClusterView") -> None:
         self._advance(view)
 
     # ------------------------------------------------------------------
@@ -152,6 +172,8 @@ def replay_trace(
     max_time: float = math.inf,
     sanitize: bool | None = None,
     observability=None,
+    fault_profile: FaultProfile | None = None,
+    churn_seed: int | None = None,
 ) -> SimulationResult:
     """Re-execute a recorded trace against a fresh cluster + workload.
 
@@ -159,6 +181,10 @@ def replay_trace(
     the trace's ``meta`` (present when recorded via
     :func:`repro.sim.runner.run_recorded`); they must match the
     recording run for the duration RNG and slot grid to line up.
+    Likewise ``fault_profile``/``churn_seed`` default to the recording's
+    ``meta["faults"]`` — the replay engine reconstructs the same
+    injector and re-derives the identical failure realization, so
+    recorded ``Fail``/``Recover`` decisions are verified, not re-applied.
     ``observability`` attaches a per-run metrics/span/profiler bundle —
     the replayed run's sim-derived metrics must equal the recording's.
     """
@@ -169,6 +195,12 @@ def replay_trace(
         seed = int(meta["seed"])
     if schedule_interval is None:
         schedule_interval = float(meta.get("schedule_interval", 0.0))
+    faults_meta = meta.get("faults")
+    if faults_meta:
+        if fault_profile is None:
+            fault_profile = FaultProfile.from_meta(faults_meta["profile"])
+        if churn_seed is None and faults_meta.get("churn_seed") is not None:
+            churn_seed = int(faults_meta["churn_seed"])
     scheduler = ReplayScheduler(trace, name=meta.get("policy"))
     engine = SimulationEngine(
         cluster,
@@ -179,6 +211,8 @@ def replay_trace(
         max_time=max_time,
         sanitize=sanitize,
         observability=observability,
+        fault_profile=fault_profile,
+        churn_seed=churn_seed,
     )
     result = engine.run()
     scheduler.assert_exhausted()
@@ -214,6 +248,10 @@ def assert_replay_identical(
         "clones_launched",
         "copies_launched",
         "simulated_time",
+        "faults_injected",
+        "copies_lost",
+        "recoveries_masked_by_clone",
+        "tasks_requeued",
     ):
         va, vb = getattr(recorded, attr), getattr(replayed, attr)
         if va != vb:

@@ -29,6 +29,7 @@ from concurrent.futures import (
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.faults import FaultProfile
 from repro.observability import Observability
 from repro.schedulers.base import Scheduler
 from repro.sim.actions import DecisionTrace
@@ -49,6 +50,8 @@ def run_simulation(
     max_time: float = math.inf,
     sanitize: bool | None = None,
     observability: Observability | None = None,
+    fault_profile: FaultProfile | None = None,
+    churn_seed: int | None = None,
 ) -> SimulationResult:
     """Simulate ``jobs`` on ``cluster`` under ``scheduler``.
 
@@ -60,6 +63,11 @@ def run_simulation(
     checker (default: the ``REPRO_SANITIZE`` environment toggle).
     ``observability`` attaches a per-run metrics/span/profiler bundle
     (default: the ``REPRO_METRICS``/``REPRO_PROFILE`` toggles).
+    ``fault_profile`` attaches a deterministic fault injector (DESIGN.md
+    §5.5); its RNG stream derives from ``churn_seed`` (default:
+    ``seed`` + a fixed offset), so identical seeds give identical
+    failure realizations and a ``None`` profile leaves every existing
+    RNG stream untouched.
     """
     engine = SimulationEngine(
         cluster,
@@ -70,6 +78,8 @@ def run_simulation(
         max_time=max_time,
         sanitize=sanitize,
         observability=observability,
+        fault_profile=fault_profile,
+        churn_seed=churn_seed,
     )
     return engine.run()
 
@@ -85,6 +95,8 @@ def run_recorded(
     sanitize: bool | None = None,
     trace_maxlen: int | None = None,
     observability: Observability | None = None,
+    fault_profile: FaultProfile | None = None,
+    churn_seed: int | None = None,
 ) -> tuple[SimulationResult, DecisionTrace]:
     """Like :func:`run_simulation`, but journal every scheduler decision.
 
@@ -105,6 +117,8 @@ def run_recorded(
         record_trace=True,
         trace_maxlen=trace_maxlen,
         observability=observability,
+        fault_profile=fault_profile,
+        churn_seed=churn_seed,
     )
     result = engine.run()
     trace = engine.trace
@@ -118,6 +132,13 @@ def run_recorded(
             "num_decisions": len(trace),
         }
     )
+    if engine.faults is not None:
+        # Everything replay_trace needs to reconstruct the injector:
+        # the profile's scalars plus the resolved churn seed.
+        trace.meta["faults"] = {
+            "profile": engine.faults.profile.to_meta(),
+            "churn_seed": engine.faults.churn_seed,
+        }
     return result, trace
 
 
@@ -128,6 +149,8 @@ def _run_combo(
     seed: int,
     schedule_interval: float,
     max_time: float,
+    fault_profile: FaultProfile | None = None,
+    churn_seed: int | None = None,
 ) -> SimulationResult:
     """One (scheduler, seed) cell of a sweep — module-level so worker
     processes can unpickle it."""
@@ -138,6 +161,8 @@ def _run_combo(
         seed=seed,
         schedule_interval=schedule_interval,
         max_time=max_time,
+        fault_profile=fault_profile,
+        churn_seed=churn_seed,
     )
 
 
@@ -151,6 +176,8 @@ def compare_schedulers(
     schedule_interval: float = 0.0,
     max_time: float = math.inf,
     workers: int | None = None,
+    fault_profile: FaultProfile | None = None,
+    churn_seed: int | None = None,
 ):
     """Run the same (freshly rebuilt) workload under several policies.
 
@@ -175,12 +202,26 @@ def compare_schedulers(
     cells: dict[tuple[str, int], SimulationResult] = {}
     if workers is not None and workers > 1 and len(combos) > 1:
         cells = _run_parallel(
-            make_cluster, make_jobs, combos, schedule_interval, max_time, workers
+            make_cluster,
+            make_jobs,
+            combos,
+            schedule_interval,
+            max_time,
+            workers,
+            fault_profile,
+            churn_seed,
         )
     else:
         for name, make, s in combos:
             cells[(name, s)] = _run_combo(
-                make_cluster, make, make_jobs, s, schedule_interval, max_time
+                make_cluster,
+                make,
+                make_jobs,
+                s,
+                schedule_interval,
+                max_time,
+                fault_profile,
+                churn_seed,
             )
 
     if seeds is None:
@@ -197,6 +238,8 @@ def _run_parallel(
     schedule_interval: float,
     max_time: float,
     workers: int,
+    fault_profile: FaultProfile | None = None,
+    churn_seed: int | None = None,
 ) -> dict[tuple[str, int], SimulationResult]:
     try:
         pickle.dumps((make_cluster, make_jobs, [m for _, m, _ in combos]))
@@ -209,7 +252,15 @@ def _run_parallel(
     with pool_cls(max_workers=workers) as pool:
         futures = {
             pool.submit(
-                _run_combo, make_cluster, make, make_jobs, s, schedule_interval, max_time
+                _run_combo,
+                make_cluster,
+                make,
+                make_jobs,
+                s,
+                schedule_interval,
+                max_time,
+                fault_profile,
+                churn_seed,
             ): (name, s)
             for name, make, s in combos
         }

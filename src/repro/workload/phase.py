@@ -123,10 +123,18 @@ class Phase:
 
     def task_left_pending(self) -> None:
         """Hook called by :meth:`Task.add_copy`/:meth:`Task.complete`
-        when a task leaves the PENDING state (tasks never re-enter it)."""
+        when a task leaves the PENDING state.  (A task re-enters it only
+        through :meth:`Task.requeue`, when a fault orphaned it.)"""
         self._pending_count -= 1
         if self._pending_count < 0:
             raise RuntimeError(f"phase {self.name}: pending-count underflow")
+
+    def task_requeued(self) -> None:
+        """Hook called by :meth:`Task.requeue`: a fault-orphaned task
+        re-entered the PENDING state."""
+        self._pending_count += 1
+        if self._pending_count > len(self.tasks):
+            raise RuntimeError(f"phase {self.name}: pending-count overflow")
 
     @property
     def num_unfinished(self) -> int:

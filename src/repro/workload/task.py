@@ -121,6 +121,7 @@ class Task:
         "state",
         "finish_time",
         "preferred_servers",
+        "fault_losses",
         "_live_count",
     )
 
@@ -133,6 +134,11 @@ class Task:
         #: Servers holding this task's input replicas (data locality);
         #: empty means unconstrained.
         self.preferred_servers: tuple[int, ...] = ()
+        #: Copies lost to injected faults (server crashes / copy
+        #: failures).  Lifetime copy caps subtract this, so a task that
+        #: lost work to a fault may be relaunched without tripping the
+        #: ``max_copies_per_task`` guard.
+        self.fault_losses = 0
         # Live-copy counter, kept in sync by add_copy/copy_ended — read
         # on every cloning decision, so it must not be a scan.
         self._live_count = 0
@@ -178,6 +184,26 @@ class Task:
         if self.state is TaskState.PENDING:
             self.phase.task_left_pending()
         self.state = TaskState.RUNNING
+
+    def requeue(self) -> None:
+        """Return an orphaned task to PENDING (fault recovery).
+
+        Called by the engine when a fault killed the task's last live
+        copy: the task re-enters the pending pool and schedulers place
+        it again like any never-launched task.  Dead copies stay in
+        ``copies`` — their occupancy already counted toward the run's
+        resource usage.
+        """
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(
+                f"task {self.uid}: cannot requeue from state {self.state.value}"
+            )
+        if self._live_count != 0:
+            raise RuntimeError(
+                f"task {self.uid}: requeue with {self._live_count} live copies"
+            )
+        self.state = TaskState.PENDING
+        self.phase.task_requeued()
 
     def complete(self, time: float) -> None:
         """Mark the task finished at ``time`` (first copy won)."""

@@ -103,3 +103,40 @@ class TestPriorityGroups:
 
     def test_empty(self):
         assert priority_groups({}) == []
+
+
+class TestDoublingCategoryBoundaries:
+    """Pins of the 2^l category edges (ISSUE audit): eligibility at
+    level l is length ≤ 2^l *inclusive*, and likewise the knapsack's
+    volume capacity — a job sitting exactly on a power of two belongs to
+    that category, not the next one."""
+
+    def test_length_exactly_at_power_of_two_inclusive(self):
+        # length == 2^1: eligible at level 1.
+        assert compute_priorities([m(0, 1.0, 2.0)])[0] == 1
+
+    def test_length_just_above_boundary_next_level(self):
+        assert compute_priorities([m(0, 1.0, 2.0 + 1e-9)])[0] == 2
+
+    def test_length_exactly_four_enters_level_two(self):
+        assert compute_priorities([m(0, 1.0, 4.0)])[0] == 2
+
+    def test_volume_exactly_at_capacity_inclusive(self):
+        # volume == 2^1: the level-1 knapsack (capacity 2) packs it.
+        assert compute_priorities([m(0, 2.0, 1.0)])[0] == 1
+
+    def test_volume_just_above_capacity_next_level(self):
+        assert compute_priorities([m(0, 2.0 + 1e-9, 1.0)])[0] == 2
+
+    def test_sub_clamp_tiny_jobs_land_on_level_one(self):
+        # Categories start at 2^1 — there is no level 0, so arbitrarily
+        # short/small jobs clamp to priority 1.
+        assert compute_priorities([m(0, 1e-6, 1e-6)])[0] == 1
+        assert num_levels([m(0, 1e-6, 1e-6)]) >= 1
+
+    def test_boundary_pair_splits_across_levels(self):
+        # Two equal-volume jobs straddling the 2^1 edge: the on-boundary
+        # job outranks the just-over one.
+        prios = compute_priorities([m(0, 0.5, 2.0), m(1, 0.5, 2.0 + 1e-9)])
+        assert prios[0] == 1
+        assert prios[1] == 2

@@ -233,3 +233,83 @@ class TestEngineIntegration:
             for phase in job.phases:
                 for task in phase.tasks:
                     assert task.state is TaskState.FINISHED
+
+
+class TestFailedServerInvariant:
+    def test_down_server_with_resident_copy_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        # Flip the server down without the Fail applier's cleanup: the
+        # resident copy, its allocation and the availability all linger.
+        server = engine.cluster[0]
+        server.up = False
+        violations = SimulationSanitizer(engine).check("bad mark_down")
+        assert InvariantKind.FAILED_SERVER in kinds(violations)
+        v = next(v for v in violations if v.kind is InvariantKind.FAILED_SERVER)
+        assert v.server_id == 0
+        assert "resident" in v.message
+
+    def test_down_server_leaking_availability_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        from repro.sim.actions import Fail
+
+        engine.apply(Fail(engine.cluster[1]))  # clean crash of the idle server
+        assert SimulationSanitizer(engine).check() == []
+        # Corrupt: a down server advertising capacity again.
+        engine.cluster[1]._available = Resources.of(1, 1)
+        violations = SimulationSanitizer(engine).check("leak")
+        assert InvariantKind.FAILED_SERVER in kinds(violations)
+
+    def test_clean_crash_passes(self):
+        engine, task, _ = engine_with_running_copy()
+        from repro.sim.actions import Fail
+
+        engine.apply(Fail(engine.cluster[0]))
+        assert task.state is TaskState.PENDING
+        assert SimulationSanitizer(engine).check() == []
+
+
+class TestRequeueCoherenceInvariant:
+    def test_pending_task_with_live_copy_detected(self):
+        engine, task, copy = engine_with_running_copy()
+        # Buggy requeue: state flips to PENDING while the copy lives on.
+        task.state = TaskState.PENDING
+        task.phase._pending_count += 1
+        violations = SimulationSanitizer(engine).check("bad requeue")
+        assert InvariantKind.REQUEUE_COHERENCE in kinds(violations)
+        v = next(
+            v for v in violations if v.kind is InvariantKind.REQUEUE_COHERENCE
+        )
+        assert v.task_uid == task.uid
+
+    def test_stale_phase_pending_count_detected(self):
+        engine, task, _ = engine_with_running_copy()
+        # Requeue that forgets to bump the phase's cached counter.
+        task.phase._pending_count += 1
+        violations = SimulationSanitizer(engine).check("stale counter")
+        assert InvariantKind.REQUEUE_COHERENCE in kinds(violations)
+
+
+class TestCloneBudgetInvariant:
+    def test_leaked_occupancy_without_live_clones_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        # The headline δ-budget drift: occupancy left over after every
+        # clone exited must be flagged even when it is tiny.
+        engine.clone_occupancy = Resources.of(1e-9, 0.0)
+        violations = SimulationSanitizer(engine).check("budget leak")
+        assert InvariantKind.CLONE_BUDGET in kinds(violations)
+
+    def test_negative_occupancy_detected(self):
+        engine, _, _ = engine_with_running_copy()
+        engine.clone_occupancy = Resources.of(-0.5, 0.0)
+        violations = SimulationSanitizer(engine).check("double return")
+        assert InvariantKind.CLONE_BUDGET in kinds(violations)
+
+    def test_occupancy_mismatch_with_live_clone_detected(self):
+        engine, task, _ = engine_with_running_copy()
+        engine.launch_copy(task, engine.cluster[1], clone=True)
+        assert SimulationSanitizer(engine).check() == []
+        # A fault-kill path that forgets the return leaves the occupancy
+        # above the rescan of live clone demands.
+        engine.clone_occupancy = engine.clone_occupancy + task.demand
+        violations = SimulationSanitizer(engine).check("missed return")
+        assert InvariantKind.CLONE_BUDGET in kinds(violations)

@@ -1,0 +1,87 @@
+"""Unit tests for FaultProfile: validation, presets, meta round-trip."""
+
+import math
+
+import pytest
+
+from repro.faults import FAULT_PROFILES, FaultProfile, named_profile
+
+
+class TestValidation:
+    def test_default_injects_nothing(self):
+        p = FaultProfile()
+        assert not p.enabled
+        assert not p.server_churn
+
+    def test_finite_mtbf_enables_churn(self):
+        p = FaultProfile(mtbf=600.0)
+        assert p.server_churn and p.enabled
+
+    def test_copy_fail_rate_enables(self):
+        assert FaultProfile(copy_fail_rate=0.01).enabled
+
+    def test_slowdown_rate_enables(self):
+        assert FaultProfile(slowdown_rate=0.01).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mtbf": 0.0},
+            {"mtbf": -1.0},
+            {"mttr": 0.0},
+            {"copy_fail_rate": -0.1},
+            {"slowdown_rate": -0.1},
+            {"slowdown_factor": 1.0},
+            {"slowdown_duration": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultProfile(**kwargs)
+
+
+class TestMetaRoundTrip:
+    def test_round_trip_identity(self):
+        for name, profile in FAULT_PROFILES.items():
+            assert FaultProfile.from_meta(profile.to_meta()) == profile, name
+
+    def test_infinite_mtbf_serializes_as_none(self):
+        meta = FaultProfile().to_meta()
+        assert meta["mtbf"] is None
+        assert math.isinf(FaultProfile.from_meta(meta).mtbf)
+
+    def test_meta_is_plain_json_scalars(self):
+        import json
+
+        for profile in FAULT_PROFILES.values():
+            json.dumps(profile.to_meta())  # must not raise
+
+
+class TestPresets:
+    def test_none_preset_disabled(self):
+        assert not FAULT_PROFILES["none"].enabled
+
+    def test_all_other_presets_enabled(self):
+        for name, p in FAULT_PROFILES.items():
+            if name != "none":
+                assert p.enabled, name
+
+    def test_named_profile_case_insensitive(self):
+        assert named_profile("CHURN") == FAULT_PROFILES["churn"]
+
+    def test_named_profile_unknown(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            named_profile("meteor-strike")
+
+    def test_named_profile_overrides(self):
+        p = named_profile("churn", mtbf=120.0, mttr=5.0)
+        assert p.mtbf == 120.0 and p.mttr == 5.0
+        # Non-overridden fields keep the preset's values.
+        assert p.keep_one_up is FAULT_PROFILES["churn"].keep_one_up
+
+    def test_named_profile_no_overrides_returns_preset(self):
+        assert named_profile("flaky") is FAULT_PROFILES["flaky"]
+
+    def test_override_can_enable_none(self):
+        p = named_profile("none", copy_fail_rate=0.5)
+        assert p.enabled

@@ -1,0 +1,172 @@
+"""Replay determinism under fault injection (DESIGN.md §5.5).
+
+A recorded fault run must replay bit-identically: the trace carries the
+profile + churn seed in ``meta["faults"]``, the replay engine rebuilds
+the injector (re-deriving the identical failure realization), and the
+journaled ``fail``/``recover`` decisions are verified rather than
+re-applied — so replay never raises InvalidAction on an already-dead
+server."""
+
+import pytest
+
+from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.core.online import DollyMPScheduler
+from repro.faults import FaultProfile
+from repro.resources import Resources
+from repro.sim.actions import FAULT_POLICY, DecisionTrace
+from repro.sim.replay import assert_replay_identical, replay_trace
+from repro.sim.runner import run_recorded, run_simulation
+from tests.conftest import make_chain_job, make_single_task_job
+
+CHURN = FaultProfile(mtbf=60.0, mttr=15.0, copy_fail_rate=1.0 / 120.0)
+
+
+def _cluster():
+    return homogeneous_cluster(4, Resources.of(8, 16), slowdown=1.0)
+
+
+def _jobs():
+    out = []
+    for i in range(5):
+        if i % 2 == 0:
+            out.append(make_chain_job(2, 4, theta=20.0, sigma=8.0,
+                                      arrival_time=15.0 * i, job_id=i))
+        else:
+            out.append(make_single_task_job(theta=25.0, sigma=10.0,
+                                            arrival_time=15.0 * i, job_id=i))
+    return out
+
+
+def _record():
+    return run_recorded(
+        _cluster(),
+        DollyMPScheduler(max_clones=2),
+        _jobs(),
+        seed=13,
+        sanitize=True,
+        fault_profile=CHURN,
+    )
+
+
+class TestFaultTraceMeta:
+    def test_meta_carries_profile_and_seed(self):
+        result, trace = _record()
+        assert result.faults_injected > 0, "profile too tame for the test"
+        faults = trace.meta["faults"]
+        assert FaultProfile.from_meta(faults["profile"]) == CHURN
+        assert isinstance(faults["churn_seed"], int)
+
+    def test_fault_decisions_journaled(self):
+        _, trace = _record()
+        fault_decisions = [d for d in trace if d.kind in ("fail", "recover")]
+        assert fault_decisions, "no Fail/Recover journaled"
+        for d in fault_decisions:
+            assert d.policy == FAULT_POLICY
+            assert (d.job_id, d.phase_index, d.task_index) == (-1, -1, -1)
+            assert d.server_id >= 0
+
+    def test_no_fault_run_has_no_faults_meta(self):
+        _, trace = run_recorded(
+            _cluster(), DollyMPScheduler(max_clones=2), _jobs(), seed=13
+        )
+        assert "faults" not in trace.meta
+
+
+class TestReplayIdentity:
+    def test_fault_run_replays_bit_identically(self):
+        result, trace = _record()
+        assert result.faults_injected > 0
+        replayed = replay_trace(trace, _cluster(), _jobs(), sanitize=True)
+        assert_replay_identical(result, replayed)
+
+    def test_replay_after_jsonl_round_trip(self, tmp_path):
+        result, trace = _record()
+        path = tmp_path / "fault_trace.jsonl"
+        trace.dump_jsonl(path)
+        loaded = DecisionTrace.load_jsonl(path)
+        assert loaded.decisions == trace.decisions
+        replayed = replay_trace(loaded, _cluster(), _jobs(), sanitize=True)
+        assert_replay_identical(result, replayed)
+
+    def test_same_seed_runs_byte_identical(self):
+        (r1, t1), (r2, t2) = _record(), _record()
+        assert t1.decisions == t2.decisions
+        assert_replay_identical(r1, r2)
+
+    def test_different_churn_seed_diverges(self):
+        """The realization is a function of churn_seed — changing it
+        while keeping the sim seed must change the failure sequence."""
+        _, t1 = _record()
+        _, t2 = run_recorded(
+            _cluster(),
+            DollyMPScheduler(max_clones=2),
+            _jobs(),
+            seed=13,
+            fault_profile=CHURN,
+            churn_seed=999,
+        )
+        f1 = [(d.kind, d.time, d.server_id) for d in t1 if d.kind == "fail"]
+        f2 = [(d.kind, d.time, d.server_id) for d in t2 if d.kind == "fail"]
+        assert f1 != f2
+
+
+class TestNoFaultBitIdentity:
+    def test_disabled_profile_identical_to_no_profile(self):
+        """``FaultProfile()`` (nothing enabled) is normalized away: the
+        run is bit-identical to one that never mentioned faults."""
+        base = run_simulation(
+            _cluster(), DollyMPScheduler(max_clones=2), _jobs(), seed=13
+        )
+        gated = run_simulation(
+            _cluster(),
+            DollyMPScheduler(max_clones=2),
+            _jobs(),
+            seed=13,
+            fault_profile=FaultProfile(),
+        )
+        assert_replay_identical(base, gated)
+        assert gated.faults_injected == 0
+
+    def test_fault_rng_never_perturbs_durations(self):
+        """Fault draws come from a third stream: a run whose profile
+        never fires (astronomical MTBF) matches the no-fault run's
+        per-job records exactly."""
+        base = run_simulation(
+            _cluster(), DollyMPScheduler(max_clones=2), _jobs(), seed=13
+        )
+        quiet = run_simulation(
+            _cluster(),
+            DollyMPScheduler(max_clones=2),
+            _jobs(),
+            seed=13,
+            fault_profile=FaultProfile(mtbf=1e15),
+        )
+        assert quiet.faults_injected == 0
+        assert base.records == quiet.records  # repro-lint: ignore[RL003]
+
+
+class TestReplayWithObservability:
+    def test_replay_with_observability_attached(self):
+        from repro.observability import Observability
+
+        result, trace = _record()
+        obs = Observability()
+        replayed = replay_trace(
+            trace, _cluster(), _jobs(), sanitize=True, observability=obs
+        )
+        assert_replay_identical(result, replayed)
+        snap = obs.snapshot()
+        assert snap, "observability produced no snapshot"
+
+
+def test_fault_profile_kwarg_rejected_when_mismatched():
+    """Explicit replay parameters win over the trace meta (callers may
+    deliberately replay under a different realization and expect a
+    divergence, not silent meta precedence)."""
+    result, trace = _record()
+    with pytest.raises(Exception):
+        replayed = replay_trace(
+            trace, _cluster(), _jobs(), sanitize=True, churn_seed=424242
+        )
+        # A different realization cannot reproduce the recording.
+        assert_replay_identical(result, replayed)

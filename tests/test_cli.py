@@ -124,3 +124,42 @@ class TestDecisionTraceCommands:
         DecisionTrace(meta={"seed": 0}).dump_jsonl(bare)
         with pytest.raises(SystemExit, match="provenance"):
             main(["trace", "replay", str(bare)])
+
+
+class TestFaultFlags:
+    def test_run_with_fault_profile(self, capsys):
+        rc = main(
+            ["run", "--scheduler", "dollymp2", "--app", "wordcount",
+             "--jobs", "3", "--gap", "40", "--seed", "3",
+             "--fault-profile", "churn", "--mtbf", "150", "--mttr", "20"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults_injected" in out
+
+    def test_run_without_faults_has_no_fault_keys(self, capsys):
+        rc = main(
+            ["run", "--scheduler", "dollymp2", "--app", "wordcount",
+             "--jobs", "3", "--gap", "40", "--seed", "3"]
+        )
+        assert rc == 0
+        assert "faults_injected" not in capsys.readouterr().out
+
+    def test_unknown_profile_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheduler", "dollymp2", "--app", "wordcount",
+                  "--jobs", "1", "--fault-profile", "meteor"])
+
+    def test_record_then_replay_fault_run(self, tmp_path, capsys):
+        path = tmp_path / "faulty.jsonl"
+        rc = main(
+            ["trace", "record", "--scheduler", "dollymp2", "--app", "mixed",
+             "--jobs", "4", "--gap", "40", "--seed", "7",
+             "--fault-profile", "churn", "--mtbf", "200",
+             "--out", str(path)]
+        )
+        assert rc == 0
+        rc = main(["trace", "replay", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
