@@ -9,7 +9,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 # Coverage floor lives in pyproject.toml ([tool.coverage.report]).
 COV_FAIL_UNDER = $(shell sed -n 's/^fail_under *= *//p' pyproject.toml)
 
-.PHONY: check lint test smoke replay-smoke fault-smoke bench-check coverage bench-trajectory
+.PHONY: check lint test smoke replay-smoke fault-smoke engine-smoke bench-check coverage bench-trajectory
 
 check:
 	@MAKE="$(MAKE)" sh tools/check.sh
@@ -29,6 +29,9 @@ replay-smoke:
 fault-smoke:
 	$(PYTHON) -m repro.devtools.fault_smoke
 
+engine-smoke:
+	$(PYTHON) -m repro.devtools.engine_smoke
+
 bench-check:
 	$(PYTHON) -m benchmarks.check_regression
 
@@ -43,6 +46,8 @@ coverage:
 		echo "coverage: pytest-cov not installed, skipping (floor $(COV_FAIL_UNDER)% enforced in CI)"; \
 	fi
 
-# Appends one line to benchmarks/results/trajectory.jsonl (cron job).
+# Appends one line each to benchmarks/results/trajectory.jsonl (cron job):
+# placement microbench + end-to-end engine throughput (gate config).
 bench-trajectory:
 	$(PYTHON) -m benchmarks.placement_microbench --append benchmarks/results/trajectory.jsonl
+	$(PYTHON) -m benchmarks.engine_bench --append benchmarks/results/trajectory.jsonl

@@ -2,11 +2,18 @@
 
 Re-measures the two overhead benchmarks (priority recompute at 1K jobs /
 30K servers; one full DollyMP schedule pass on the 30-node testbed)
-and compares against the means recorded in ``benchmarks/results/`` by
-the last ``pytest benchmarks/test_overhead.py`` run.  Fails (exit 1) if
-either measurement regressed by more than 2x — generous enough to ride
-out machine noise, tight enough to catch an accidentally de-vectorized
-hot path.
+plus the end-to-end engine throughput gate (the ``gate`` config of
+``benchmarks/engine_bench``) and compares against the recorded
+baselines — the overhead means in ``benchmarks/results/<figure>.txt``
+and the engine numbers in ``benchmarks/results/BENCH_engine.json``.
+Fails (exit 1) if any measurement regressed by more than 2x — generous
+enough to ride out machine noise, tight enough to catch an accidentally
+de-vectorized hot path or a de-batched event loop.
+
+The engine check also asserts the fresh run's ``total_flowtime`` equals
+the recorded one bit-for-bit: the batched engine's contract is *faster,
+not different*, so a flowtime drift is a correctness regression even at
+blazing speed.
 
 Run it as::
 
@@ -15,10 +22,12 @@ Run it as::
 Regenerate the recorded baselines with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_overhead.py
+    PYTHONPATH=src python -m benchmarks.engine_bench --write-baseline
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 import time
@@ -87,6 +96,57 @@ def measure_schedule_pass_ms(rounds: int = 3) -> float:
     return 1e3 * sum(times) / rounds
 
 
+def recorded_engine_gate() -> dict | None:
+    """The ``gate``-config record from ``BENCH_engine.json`` (or None)."""
+    from benchmarks.engine_bench import BASELINE_PATH
+
+    if not BASELINE_PATH.exists():
+        return None
+    runs = json.loads(BASELINE_PATH.read_text()).get("measured", {}).get("runs", [])
+    for run in runs:
+        if run.get("config") == "gate" and run.get("mode") == "current":
+            return run
+    return None
+
+
+def check_engine_gate() -> bool:
+    """End-to-end engine throughput + identity check.  Returns True on
+    failure.  Throughput uses the same 2x slack as the overhead checks
+    (events/sec is a rate, so the comparison inverts); flowtime must
+    match the baseline exactly — the batched engine promises identical
+    results, so any drift is a correctness bug, not noise."""
+    recorded = recorded_engine_gate()
+    if recorded is None:
+        print(
+            "engine_gate: no recorded baseline — run "
+            "`python -m benchmarks.engine_bench --write-baseline` first"
+        )
+        return False
+    # A fresh interpreter, not in-process: the overhead checks above have
+    # already consumed job ids from the global counter, and the recorded
+    # baseline was measured in a clean process.
+    from benchmarks.engine_bench import _measure_subprocess
+
+    fresh = _measure_subprocess("gate", "current")
+    failed = False
+    ratio = recorded["events_per_sec"] / fresh["events_per_sec"]
+    verdict = "OK" if ratio <= MAX_SLOWDOWN else "REGRESSION"
+    print(
+        f"engine_gate: recorded {recorded['events_per_sec']:.1f} ev/s, "
+        f"fresh {fresh['events_per_sec']:.1f} ev/s ({ratio:.2f}x slower) — {verdict}"
+    )
+    if ratio > MAX_SLOWDOWN:
+        failed = True
+    for key in ("total_flowtime", "events", "copies_launched"):
+        if fresh[key] != recorded[key]:
+            print(
+                f"engine_gate: {key} drifted — recorded {recorded[key]!r}, "
+                f"fresh {fresh[key]!r} — IDENTITY REGRESSION"
+            )
+            failed = True
+    return failed
+
+
 def main() -> int:
     checks = [
         ("overhead_priorities", measure_priorities_ms),
@@ -107,6 +167,8 @@ def main() -> int:
         )
         if ratio > MAX_SLOWDOWN:
             failed = True
+    if check_engine_gate():
+        failed = True
     return 1 if failed else 0
 
 

@@ -62,10 +62,28 @@ class AvailabilityMirror:
         "cap_cpu",
         "cap_mem",
         "up",
+        "_coalescing",
+        "_pending",
+        "_alloc_cache",
     )
 
     def __init__(self, servers: Sequence["Server"]) -> None:
         m = len(servers)
+        # Coalesced-update window (batched event drains): while open,
+        # ``update`` calls park the server in ``_pending`` instead of
+        # storing immediately; ``flush`` replays each parked server's
+        # *current* state once.  ``update`` is idempotent (it pushes the
+        # server's present floats, not a delta), so deferring N updates
+        # of one server to a single store is exact.
+        self._coalescing = False
+        self._pending: dict[int, "Server"] = {}
+        # Memoized (cpu, mem) allocation totals, invalidated by any
+        # update: the engine reads them once per accounting window, and
+        # windows bounded by events that move no capacity (bare ticks)
+        # reuse the previous reduction.  The cached floats are the exact
+        # ``np.sum`` outputs — identical arrays give identical sums, so
+        # memoization cannot perturb the utilization integrals.
+        self._alloc_cache: tuple[float, float] | None = None
         self.cap_cpu = np.fromiter((s.capacity.cpu for s in servers), np.float64, m)
         self.cap_mem = np.fromiter((s.capacity.mem for s in servers), np.float64, m)
         self.avail_cpu = np.empty(m, np.float64)
@@ -91,8 +109,13 @@ class AvailabilityMirror:
         """Push one server's availability/allocation into the arrays.
 
         Called by ``Server.allocate``/``Server.release`` after every
-        bookkeeping change — O(1), four scalar stores.
+        bookkeeping change — O(1), four scalar stores (or one pending-
+        dict store inside a coalesce window).
         """
+        if self._coalescing:
+            self._pending[server.server_id] = server
+            return
+        self._alloc_cache = None
         i = server.server_id
         avail = server.available
         alloc = server.allocated
@@ -102,11 +125,47 @@ class AvailabilityMirror:
         self.alloc_mem[i] = alloc.mem
         self.up[i] = server.up
 
+    def begin_coalesce(self) -> None:
+        """Open a deferred-update window: ``update`` calls park servers
+        until :meth:`end_coalesce`/:meth:`flush`.  The engine brackets
+        same-instant multi-release loops (first-copy-wins kills, server-
+        crash victim sweeps) with this so a server touched k times gets
+        one store.  Every read kernel flushes first, so reads inside a
+        window stay exact."""
+        self._coalescing = True
+
+    def end_coalesce(self) -> None:
+        """Close the window and apply every deferred update."""
+        self._coalescing = False
+        if self._pending:
+            self.flush()
+
+    def flush(self) -> None:
+        """Apply deferred updates now (window state is unchanged)."""
+        pending = self._pending
+        if not pending:
+            return
+        self._alloc_cache = None
+        avail_cpu, avail_mem = self.avail_cpu, self.avail_mem
+        alloc_cpu, alloc_mem = self.alloc_cpu, self.alloc_mem
+        up = self.up
+        for i, server in pending.items():
+            avail = server.available
+            alloc = server.allocated
+            avail_cpu[i] = avail.cpu
+            avail_mem[i] = avail.mem
+            alloc_cpu[i] = alloc.cpu
+            alloc_mem[i] = alloc.mem
+            up[i] = server.up
+        pending.clear()
+
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
     def fitting_mask(self, demand: Resources) -> np.ndarray:
         """Boolean mask of *up* servers that can host ``demand`` (Eq. 5)."""
+        if self._pending:
+            self.flush()
         return (
             self.up
             & (self.avail_cpu + EPS >= demand.cpu)
@@ -115,6 +174,8 @@ class AvailabilityMirror:
 
     def num_up(self) -> int:
         """Servers currently in service (O(M) reduction on the mask)."""
+        if self._pending:
+            self.flush()
         return int(self.up.sum())
 
     def any_fits(self, demand: Resources) -> bool:
@@ -148,15 +209,23 @@ class AvailabilityMirror:
     # Aggregates
     # ------------------------------------------------------------------
     def total_available(self) -> Resources:
+        if self._pending:
+            self.flush()
         return Resources(float(self.avail_cpu.sum()), float(self.avail_mem.sum()))
 
     def total_allocated(self) -> Resources:
-        return Resources(float(self.alloc_cpu.sum()), float(self.alloc_mem.sum()))
+        return Resources(*self.total_allocated_components())
 
     def total_allocated_components(self) -> tuple[float, float]:
         """(cpu, mem) allocation totals without a Resources allocation —
         the simulation engine's per-event accounting fast path."""
-        return float(self.alloc_cpu.sum()), float(self.alloc_mem.sum())
+        if self._pending:
+            self.flush()
+        cached = self._alloc_cache
+        if cached is None:
+            cached = float(self.alloc_cpu.sum()), float(self.alloc_mem.sum())
+            self._alloc_cache = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self.cap_cpu)

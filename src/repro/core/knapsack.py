@@ -19,7 +19,11 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["max_count_knapsack", "max_count_knapsack_exact"]
+__all__ = [
+    "max_count_knapsack",
+    "max_count_knapsack_batch",
+    "max_count_knapsack_exact",
+]
 
 
 def max_count_knapsack(weights: Sequence[float], capacity: float) -> list[int]:
@@ -42,6 +46,53 @@ def max_count_knapsack(weights: Sequence[float], capacity: float) -> list[int]:
     # Tolerate float accumulation at the boundary.
     k = int(np.searchsorted(csum, capacity * (1 + 1e-12), side="right"))
     return sorted(int(i) for i in order[:k])
+
+
+def max_count_knapsack_batch(
+    weights: Sequence[float],
+    capacities: Sequence[float],
+    *,
+    eligible: Sequence[np.ndarray] | None = None,
+) -> list[np.ndarray]:
+    """Solve the unit-profit knapsack for many capacities in one pass.
+
+    Equivalent to calling :func:`max_count_knapsack` once per capacity —
+    optionally restricting instance ``i`` to the items where
+    ``eligible[i]`` is true — but the O(n log n) stable sort is paid
+    once, and the per-instance work is a masked cumsum plus a binary
+    search.  Returned indices are in the *original* ``weights`` index
+    space (unlike the scalar helper applied to a compacted eligible
+    list), ascending.
+
+    Bit-identical to the scalar loop: a stable sort of an eligible
+    subset equals the subset of the stable-sorted whole (stability and
+    filtering both preserve original relative order among equal
+    weights), so the masked cumsum adds the same floats in the same
+    order and the boundary search lands on the same k.
+    """
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    if eligible is not None and len(eligible) != len(capacities):
+        raise ValueError("eligible must supply one mask per capacity")
+    order = np.argsort(w, kind="stable")
+    w_sorted = w[order]
+    full_csum = np.cumsum(w_sorted)
+    boundary = np.multiply(capacities, 1 + 1e-12)
+    results: list[np.ndarray] = []
+    for i, cap in enumerate(capacities):
+        if cap < 0:
+            raise ValueError(f"capacity must be non-negative, got {cap}")
+        if eligible is None:
+            k = int(np.searchsorted(full_csum, boundary[i], side="right"))
+            sel = order[:k]
+        else:
+            mask = np.asarray(eligible[i], dtype=bool)[order]
+            csum = np.cumsum(w_sorted[mask])
+            k = int(np.searchsorted(csum, boundary[i], side="right"))
+            sel = order[np.flatnonzero(mask)[:k]]
+        results.append(np.sort(sel))
+    return results
 
 
 def max_count_knapsack_exact(

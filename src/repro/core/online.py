@@ -27,13 +27,16 @@ realizations.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+import os
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.cloning_policy import CloningPolicy
 from repro.core.transient import compute_priorities, priority_groups
 from repro.core.volume import DEFAULT_R, JobMeasure, measure_job
 from repro.schedulers.base import Scheduler
 from repro.schedulers.packing import (
+    CloneScoreCache,
+    _vectorized_clone_fill_default,
     fill_clones_best_fit,
     fill_tasks_best_fit,
     pending_by_phase,
@@ -45,6 +48,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import ClusterView
 
 __all__ = ["DollyMPScheduler"]
+
+
+def _eager_priorities_default() -> bool:
+    """Eager per-arrival recompute only when REPRO_EAGER_PRIORITIES asks.
+
+    The default is *lazy* maintenance: arrivals arm a deferred recompute
+    that materializes at the next priority read (bit-identical to the
+    eager path; the escape hatch exists for the equivalence suite and
+    the legacy-mode benchmark runs, mirroring REPRO_SCALAR_PLACEMENT).
+    """
+    flag = os.environ.get("REPRO_EAGER_PRIORITIES", "").strip().lower()
+    return flag not in ("", "0", "false", "no")
 
 
 class DollyMPScheduler(Scheduler):
@@ -86,11 +101,52 @@ class DollyMPScheduler(Scheduler):
         # of re-measuring every active job on every arrival.
         self._measures: dict[int, JobMeasure] = {}
         self._measure_capacity: object | None = None
+        # Lazy priority maintenance (DESIGN.md §5.6).  Arrivals *arm* a
+        # deferred recompute instead of running Algorithm 1 immediately;
+        # the first priority read (schedule / priority_of) resolves it.
+        # To stay bit-identical to the eager path the resolve must see
+        # the roster *as it stood at the last arrival*:
+        #
+        # * ``_roster`` mirrors the engine's active-job dict (insertion
+        #   order preserved); jobs finishing while armed are kept until
+        #   the resolve (``_deferred_gone``) because the eager recompute
+        #   at the arrival would have included them — their volume
+        #   competes in the knapsack even if they finish a moment later.
+        # * ``_snapshots`` copy-on-write a job's at-arrival measure the
+        #   moment a task finish would invalidate it.
+        # * ``_unmeasured`` lists roster jobs whose cache entry was
+        #   popped; the next arrival re-measures exactly those, so every
+        #   armed window starts with a complete, current measure cache.
+        #
+        # Subclasses that override recompute_priorities (the estimating
+        # scheduler's measures are *time-varying*) keep the eager path.
+        self._eager = (
+            _eager_priorities_default()
+            or type(self).recompute_priorities is not DollyMPScheduler.recompute_priorities
+        )
+        self._roster: dict[int, Job] = {}
+        self._armed = False
+        self._snapshots: dict[int, JobMeasure] = {}
+        self._deferred_gone: list[int] = []
+        self._unmeasured: set[int] = set()
+        # Pass-1 skip set: jobs verified to have zero pending tasks in
+        # *any* phase (not just the ready ones).  A task re-enters
+        # PENDING only through a fault requeue, and both requeue paths
+        # land in a hook below (server-fail orphans, copy failures), so
+        # membership is conservative — a skipped job contributes no
+        # pass-1 candidates by construction.
+        self._no_pending: set[int] = set()
 
     # ------------------------------------------------------------------
     # Priority maintenance
     # ------------------------------------------------------------------
     def recompute_priorities(self, view: "ClusterView") -> None:
+        """Eager full recompute (public API; also the defensive path).
+
+        Rebuilds the roster mirror from the view and resets every piece
+        of lazy bookkeeping, so callers that drive the scheduler outside
+        the engine hooks (microbenches, tests) get a coherent state.
+        """
         total = view.cluster.total_capacity
         # Exact comparison on purpose: this is a cache identity key (same
         # cluster ⇒ same floats), not a tolerance check.
@@ -99,7 +155,12 @@ class DollyMPScheduler(Scheduler):
             # scheduler reused against a different cluster starts fresh.
             self._measures.clear()
             self._measure_capacity = total
+        self._armed = False
+        self._snapshots.clear()
+        self._deferred_gone.clear()
+        self._unmeasured.clear()
         cache = self._measures
+        roster: dict[int, Job] = {}
         measures = []
         for j in view.active_jobs:
             m = cache.get(j.job_id)
@@ -107,19 +168,102 @@ class DollyMPScheduler(Scheduler):
                 m = measure_job(j, total, r=self.r)
                 cache[j.job_id] = m
             measures.append(m)
+            roster[j.job_id] = j
+        self._roster = roster
         self._priorities = compute_priorities(measures)
 
     def on_job_arrival(self, job: Job, view: "ClusterView") -> None:
-        self.recompute_priorities(view)
+        if self._eager:
+            self.recompute_priorities(view)
+            return
+        total = view.cluster.total_capacity
+        if total != self._measure_capacity:  # repro-lint: ignore[RL003]
+            self._measures.clear()
+            self._measure_capacity = total
+            self._unmeasured.update(self._roster)
+        # Flush the previous armed window: jobs that finished before
+        # this arrival left the eager roster too, and their at-arrival
+        # snapshots are stale now.
+        if self._deferred_gone:
+            for jid in self._deferred_gone:
+                self._roster.pop(jid, None)
+            self._deferred_gone.clear()
+        if self._snapshots:
+            self._snapshots.clear()
+        self._roster[job.job_id] = job
+        # Re-establish the armed-window invariant: every roster job has
+        # a cached measure that is correct *right now* (= what the eager
+        # path would measure at this arrival).  Only jobs invalidated by
+        # finishes since the last arrival need work.
+        cache = self._measures
+        if self._unmeasured:
+            roster = self._roster
+            for jid in self._unmeasured:
+                j = roster.get(jid)
+                if j is not None:
+                    cache[jid] = measure_job(j, total, r=self.r)
+            self._unmeasured.clear()
+        if job.job_id not in cache:
+            cache[job.job_id] = measure_job(job, total, r=self.r)
+        self._armed = True
+
+    def _resolve(self) -> None:
+        """Materialize the deferred recompute armed by arrivals.
+
+        Reconstructs exactly the measure list the eager path fed to
+        Algorithm 1 at the last arrival — roster membership and order,
+        with at-arrival snapshots standing in for measures invalidated
+        since — then drops jobs that finished in the window, mirroring
+        the eager path's on_job_finish pops."""
+        self._armed = False
+        cache = self._measures
+        snaps = self._snapshots
+        total = self._measure_capacity
+        measures = []
+        for jid, j in self._roster.items():
+            m = snaps.get(jid)
+            if m is None:
+                m = cache.get(jid)
+                if m is None:  # defensive; the arm invariant covers this
+                    m = measure_job(j, total, r=self.r)
+                    cache[jid] = m
+            measures.append(m)
+        prios = compute_priorities(measures)
+        if self._deferred_gone:
+            for jid in self._deferred_gone:
+                prios.pop(jid, None)
+                self._roster.pop(jid, None)
+            self._deferred_gone.clear()
+        if snaps:
+            snaps.clear()
+        self._priorities = prios
 
     def on_task_finish(self, task: Task, view: "ClusterView") -> None:
         # Remaining volume/length shrank: re-measure this job at the
         # next recompute.  Clone launches/kills never change them.
-        self._measures.pop(task.job.job_id, None)
+        jid = task.job.job_id
+        cache = self._measures
+        if self._armed:
+            m = cache.get(jid)
+            if m is not None:
+                self._snapshots.setdefault(jid, m)
+        cache.pop(jid, None)
+        if jid in self._roster:
+            self._unmeasured.add(jid)
 
     def on_job_finish(self, job: Job, view: "ClusterView") -> None:
-        self._measures.pop(job.job_id, None)
-        self._priorities.pop(job.job_id, None)
+        jid = job.job_id
+        if self._armed:
+            m = self._measures.get(jid)
+            if m is not None:
+                self._snapshots.setdefault(jid, m)
+            self._deferred_gone.append(jid)
+        else:
+            self._roster.pop(jid, None)
+        self._measures.pop(jid, None)
+        self._priorities.pop(jid, None)
+        self._unmeasured.discard(jid)
+        self._no_pending.discard(jid)
 
     def on_server_fail(self, server, orphans, view: "ClusterView") -> None:
         # Deliberately no cache invalidation: a job's measure counts its
@@ -131,9 +275,17 @@ class DollyMPScheduler(Scheduler):
         # orphans simply re-enter the next pass's pending pool at their
         # job's existing priority (clone-as-recovery: tasks that kept a
         # live clone never even left RUNNING).
-        pass
+        for task in orphans:
+            self._no_pending.discard(task.job.job_id)
+
+    def on_copy_failure(self, copy, view: "ClusterView") -> None:
+        # The engine requeues a task whose last live copy died — its job
+        # may hold pending work again, so it leaves the pass-1 skip set.
+        self._no_pending.discard(copy.task.job.job_id)
 
     def priority_of(self, job: Job) -> int | None:
+        if self._armed:
+            self._resolve()
         return self._priorities.get(job.job_id)
 
     # ------------------------------------------------------------------
@@ -143,6 +295,8 @@ class DollyMPScheduler(Scheduler):
         jobs = view.active_jobs
         if not jobs:
             return
+        if self._armed:
+            self._resolve()
         by_id = {j.job_id: j for j in jobs}
         if any(jid not in self._priorities for jid in by_id):
             # Defensive: an engine calling schedule() before the arrival
@@ -154,10 +308,20 @@ class DollyMPScheduler(Scheduler):
         groups = priority_groups(active_prios)
 
         # --- pass 1: normal tasks, by priority group -------------------
+        no_pending = self._no_pending
         for _, job_ids in groups:
             candidates = []
             for jid in job_ids:
-                candidates.extend(pending_by_phase(by_id[jid], view.time))
+                if jid in no_pending:
+                    continue
+                job = by_id[jid]
+                cands = pending_by_phase(job, view.time)
+                if cands:
+                    candidates.extend(cands)
+                elif all(p.num_pending == 0 for p in job.phases):
+                    # No pending work in ready *or* gated phases: skip
+                    # this job until a fault requeues one of its tasks.
+                    no_pending.add(jid)
             if candidates:
                 fill_tasks_best_fit(
                     view, candidates, server_weight=self._server_weight_hook
@@ -192,14 +356,45 @@ class DollyMPScheduler(Scheduler):
         def debit(t: Task, _server) -> None:
             state["remaining"] = (state["remaining"] - t.demand).clamp_nonnegative()
 
-        for _ in range(self.policy.max_clones):
+        # Pass-scoped score cache: every availability change inside pass 2
+        # is a clone launch made by the fills below, so the cache's
+        # one-column-per-launch refresh rule holds for the whole pass.
+        score_cache = (
+            CloneScoreCache(view.cluster.mirror)
+            if view.cluster.vectorized and _vectorized_clone_fill_default()
+            else None
+        )
+        # The clone-target scan is the other repeat cost: re-running the
+        # generator visits every task of every running phase again.  No
+        # task changes state during a pass and live-copy counts only
+        # grow, so repeat k's fresh scan equals repeat 1's list filtered
+        # by the (re-checked) copy cap — materialize once, filter after.
+        use_cat = self.policy.use_category_target
+        cap = self.policy.max_copies
+        group_targets: list[list[Task] | None] = [None] * len(groups)
+        for rep in range(self.policy.max_clones):
             launched = 0
-            for level, job_ids in groups:
+            for gi, (level, job_ids) in enumerate(groups):
+                targets = group_targets[gi]
+                if targets is None:
+                    targets = list(self._clone_targets(by_id, job_ids, level))
+                    group_targets[gi] = targets
+                    source: Iterable[Task] = targets
+                elif use_cat:
+                    category_length = 2.0**level
+                    source = (
+                        t
+                        for t in targets
+                        if self.policy.may_clone(t, category_length=category_length)
+                    )
+                else:
+                    source = (t for t in targets if t.num_live_copies < cap)
                 launched += fill_clones_best_fit(
                     view,
-                    self._clone_targets(by_id, job_ids, level),
+                    source,
                     budget_check=budget_check,
                     on_launch=debit,
+                    score_cache=score_cache,
                 )
             if launched == 0:
                 break
@@ -209,6 +404,21 @@ class DollyMPScheduler(Scheduler):
     ) -> Iterator[Task]:
         """Running tasks of the group's jobs eligible for one more clone
         (lazy — evaluated as the fill loop consumes it)."""
+        policy = self.policy
+        if not policy.use_category_target:
+            # Fast path: with a fixed copy target, ``may_clone`` reduces
+            # to ``0 < live < max_copies`` — inlined because this scan
+            # visits every running task of every group each repeat.
+            running = TaskState.RUNNING
+            cap = policy.max_copies
+            for jid in job_ids:
+                for phase in by_id[jid].phases:
+                    if phase.num_running == 0:  # O(1) guard before the scan
+                        continue
+                    for task in phase.tasks:
+                        if task.state is running and 0 < task._live_count < cap:
+                            yield task
+            return
         category_length = 2.0**level
         for jid in job_ids:
             for phase in by_id[jid].phases:

@@ -22,12 +22,23 @@ itself trivially compatible with trace recording and replay.
 from __future__ import annotations
 
 import math
+import os
 from typing import Sequence
 
-from repro.core.knapsack import max_count_knapsack
+import numpy as np
+
+from repro.core.knapsack import max_count_knapsack, max_count_knapsack_batch
 from repro.core.volume import JobMeasure
 
 __all__ = ["num_levels", "compute_priorities", "priority_groups"]
+
+
+def _vectorized_priorities_default() -> bool:
+    """Vectorized category/knapsack pass unless REPRO_SCALAR_PRIORITIES
+    opts out (escape hatch mirroring REPRO_SCALAR_PLACEMENT; the
+    equivalence suite runs both paths against each other)."""
+    flag = os.environ.get("REPRO_SCALAR_PRIORITIES", "").strip().lower()
+    return flag in ("", "0", "false", "no")
 
 
 def num_levels(measures: Sequence[JobMeasure]) -> int:
@@ -52,12 +63,23 @@ def compute_priorities(measures: Sequence[JobMeasure]) -> dict[int, int]:
     Implements steps 2–11 of Algorithm 1.  Every job receives a finite
     priority: jobs never selected (possible only through float edge
     cases) fall to level g + 1.
+
+    Dispatches to the vectorized doubling-category pass unless
+    ``REPRO_SCALAR_PRIORITIES`` selects the scalar reference loop; the
+    two are bit-identical (see :func:`_compute_priorities_vectorized`).
     """
     if not measures:
         return {}
     ids = [m.job_id for m in measures]
     if len(set(ids)) != len(ids):
         raise ValueError("duplicate job ids in measures")
+    if _vectorized_priorities_default():
+        return _compute_priorities_vectorized(measures, ids)
+    return _compute_priorities_scalar(measures)
+
+
+def _compute_priorities_scalar(measures: Sequence[JobMeasure]) -> dict[int, int]:
+    """Reference per-level loop: one knapsack call per category."""
     g = num_levels(measures)
     priorities: dict[int, int] = {}
     for level in range(1, g + 1):
@@ -74,6 +96,37 @@ def compute_priorities(measures: Sequence[JobMeasure]) -> dict[int, int]:
     for m in measures:  # float-edge fallback; the theory says unreachable
         priorities.setdefault(m.job_id, g + 1)
     return priorities
+
+
+def _compute_priorities_vectorized(
+    measures: Sequence[JobMeasure], ids: list[int]
+) -> dict[int, int]:
+    """All g categories in one batched knapsack over a single sort.
+
+    Bit-identical to the scalar loop: the batch oracle's masked cumsum
+    over the globally stable-sorted volumes adds exactly the floats the
+    per-level ``max_count_knapsack`` would (stable sort of the eligible
+    subset == subset of the stable-sorted whole), and the keep-earliest
+    rule (step 7 assigns only where p^{l-1} = ∞) is the boolean
+    ``assigned`` mask.  ``num_levels`` stays scalar on purpose — its
+    sequential float sum is part of the identity contract.
+    """
+    n = len(measures)
+    vol = np.fromiter((m.volume for m in measures), np.float64, n)
+    length = np.fromiter((m.length for m in measures), np.float64, n)
+    g = num_levels(measures)
+    caps = [2.0**level for level in range(1, g + 1)]
+    chosen = max_count_knapsack_batch(
+        vol, caps, eligible=[length <= cap for cap in caps]
+    )
+    lvl = np.full(n, g + 1, dtype=np.int64)
+    assigned = np.zeros(n, dtype=bool)
+    for level_idx, sel in enumerate(chosen):
+        take = sel[~assigned[sel]]
+        if take.size:
+            lvl[take] = level_idx + 1
+            assigned[take] = True
+    return {ids[i]: int(lvl[i]) for i in range(n)}
 
 
 def priority_groups(priorities: dict[int, int]) -> list[tuple[int, list[int]]]:

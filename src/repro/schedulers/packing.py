@@ -29,6 +29,7 @@ exactly the same (candidate, server) pair.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
@@ -40,15 +41,24 @@ from repro.workload.phase import Phase
 from repro.workload.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.mirror import AvailabilityMirror
     from repro.sim.engine import ClusterView
 
 __all__ = [
+    "CloneScoreCache",
     "fill_tasks_best_fit",
     "fill_clones_best_fit",
     "first_fit_server",
     "pending_by_phase",
     "next_pending_task",
 ]
+
+
+def _vectorized_clone_fill_default() -> bool:
+    """Cached clone-fill scoring unless REPRO_SCALAR_CLONE_FILL opts out
+    (escape hatch mirroring REPRO_SCALAR_PLACEMENT)."""
+    flag = os.environ.get("REPRO_SCALAR_CLONE_FILL", "").strip().lower()
+    return flag in ("", "0", "false", "no")
 
 
 def first_fit_server(view: "ClusterView", demand) -> Server | None:
@@ -64,8 +74,11 @@ def pending_by_phase(job, now: float | None = None) -> list[tuple[Phase, list[Ta
     requested at once.  ``now`` enables shuffle/start-delay gating.
     """
     out: list[tuple[Phase, list[Task]]] = []
-    for phase in job.ready_phases(now):
-        if phase.num_pending == 0:  # O(1) guard before the task scan
+    for phase in job.phases:
+        # O(1) pending guard first: it implies the phase is unfinished,
+        # and most phases a pass visits have nothing pending — the
+        # DAG-readiness check is the expensive half.
+        if phase.num_pending == 0 or not job.phase_ready(phase, now):
             continue
         pending = [t for t in phase.tasks if t.state is TaskState.PENDING]
         if pending:
@@ -199,14 +212,34 @@ def _fill_tasks_vectorized(
     )
     scores[~fits] = -np.inf
 
-    dead = np.zeros(len(phases), dtype=bool)
-    any_dead = False
+    # Per-row best (column, score), maintained incrementally.  The flat
+    # row-major argmax decomposes exactly into "first column achieving
+    # each row's max, then the first row achieving the global max" —
+    # kept as two invariants so a launch costs one column update plus a
+    # re-argmax of only the rows whose best server was hit (a refreshed
+    # column only shrinks, so it can neither overtake another row's best
+    # nor create a new first-index tie; see CloneScoreCache for the tie
+    # argument).
+    nrows = len(phases)
+    best_col = [0] * nrows
+    best_score = [0.0] * nrows
+    for i in range(nrows):
+        c = int(scores[i].argmax())
+        best_col[i] = c
+        best_score[i] = float(scores[i, c])
+    neg_inf = float("-inf")
     launched = 0
     while True:
-        flat = int(scores.argmax())
-        ci, sj = divmod(flat, num_servers)
-        if scores[ci, sj] == -np.inf:
+        ci = -1
+        bs = neg_inf
+        for i in range(nrows):
+            s = best_score[i]
+            if s > bs:  # strict: ties keep the lowest candidate index
+                bs = s
+                ci = i
+        if ci < 0 or bs == neg_inf:
             break  # nothing placeable remains
+        sj = best_col[ci]
         task = queues[ci].pop()
         server = servers[sj]
         view.apply(Launch(task, server))
@@ -222,12 +255,14 @@ def _fill_tasks_vectorized(
             col *= weights[sj]
         col[~(mirror.up[sj] & (a_cpu + EPS >= d_cpu) & (a_mem + EPS >= d_mem))] = -np.inf
         scores[:, sj] = col
-        if any_dead:
-            scores[dead, sj] = -np.inf  # exhausted candidates stay dead
         if not queues[ci]:
-            dead[ci] = True
-            any_dead = True
+            best_score[ci] = neg_inf  # exhausted candidate leaves the race
             scores[ci, :] = -np.inf
+        for i in range(nrows):
+            if best_col[i] == sj and best_score[i] != neg_inf:
+                c = int(scores[i].argmax())
+                best_col[i] = c
+                best_score[i] = float(scores[i, c])
     return launched
 
 
@@ -274,6 +309,81 @@ def _fill_tasks_scalar(
     return launched
 
 
+class CloneScoreCache:
+    """Per-pass memo of demand → (score row, best server) for clone fills.
+
+    The clone pass queries ``best_fit_server`` for the same few demand
+    keys over and over (every task of a phase shares one demand), and
+    between queries availability only changes at servers it launched on.
+    The cache keeps, per demand key, the full score row (``demand ·
+    avail``, -inf where the demand does not fit) and its argmax; each
+    launch refreshes exactly one column of every cached row.
+
+    Bit-identical to calling :meth:`AvailabilityMirror.best_fit` afresh:
+
+    * the column refresh evaluates the same IEEE expressions the
+      vectorized row build does, one server at a time;
+    * a launch only *shrinks* availability, so a refreshed non-best
+      column can never overtake the cached best — and it cannot create
+      a new first-index tie either, since an equal column left of the
+      best would already have been the argmax.  Only rows whose cached
+      best *is* the launched server re-run ``argmax``.
+
+    Valid only while every availability change inside the pass flows
+    through :meth:`on_launch` — i.e. within one scheduler pass where the
+    clone fills perform all the launches.
+    """
+
+    __slots__ = ("_mirror", "_rows")
+
+    def __init__(self, mirror: "AvailabilityMirror") -> None:
+        self._mirror = mirror
+        # demand key → [row (float64, -inf where unfit), best index]
+        self._rows: dict[tuple[float, float], list] = {}
+
+    def best_fit_id(self, demand) -> int | None:
+        """Best-fit server id for ``demand``, or None when nothing fits.
+
+        Same result as ``mirror.best_fit(demand)`` (unweighted).
+        """
+        key = (demand.cpu, demand.mem)
+        entry = self._rows.get(key)
+        if entry is None:
+            mirror = self._mirror
+            fits = mirror.fitting_mask(demand)  # flushes pending updates
+            row = demand.cpu * mirror.avail_cpu + demand.mem * mirror.avail_mem
+            row[~fits] = -np.inf
+            entry = [row, int(row.argmax())]
+            self._rows[key] = entry
+        row, best = entry
+        if best < 0:  # stale since the last launch — re-resolve lazily
+            best = int(row.argmax())
+            entry[1] = best
+        if row[best] == -np.inf:
+            return None
+        return best
+
+    def on_launch(self, server_id: int) -> None:
+        """Refresh the launched server's column in every cached row."""
+        mirror = self._mirror
+        if mirror._pending:
+            mirror.flush()
+        a_cpu = mirror.avail_cpu[server_id]
+        a_mem = mirror.avail_mem[server_id]
+        up = bool(mirror.up[server_id])
+        for (d_cpu, d_mem), entry in self._rows.items():
+            row = entry[0]
+            if up and a_cpu + EPS >= d_cpu and a_mem + EPS >= d_mem:
+                row[server_id] = d_cpu * a_cpu + d_mem * a_mem
+            else:
+                row[server_id] = -np.inf
+            if entry[1] == server_id:
+                # Mark stale instead of re-running argmax now: rows that
+                # shared this best server but are never queried again
+                # (end of pass, demand turned unfittable) skip the scan.
+                entry[1] = -1
+
+
 def fill_clones_best_fit(
     view: "ClusterView",
     tasks: Iterable[Task],
@@ -281,12 +391,15 @@ def fill_clones_best_fit(
     budget_check: Callable[[Task], bool] | None = None,
     max_launches: int | None = None,
     on_launch: Callable[[Task, Server], None] | None = None,
+    score_cache: CloneScoreCache | None = None,
 ) -> int:
     """Launch at most one clone per listed (running) task, best fit first.
 
     ``budget_check`` gates each launch (DollyMP's δ budget); tasks are
     attempted in the given priority order, each placed on its best-fit
-    server if any fits.  Returns the number of clones launched.
+    server if any fits.  ``score_cache`` (a pass-scoped
+    :class:`CloneScoreCache`) replaces the per-query best-fit scan with
+    cached score rows.  Returns the number of clones launched.
     """
     obs = view.observability
     frame = (
@@ -301,6 +414,7 @@ def fill_clones_best_fit(
             budget_check=budget_check,
             max_launches=max_launches,
             on_launch=on_launch,
+            score_cache=score_cache,
         )
     finally:
         if frame is not None:
@@ -317,8 +431,10 @@ def _fill_clones(
     budget_check: Callable[[Task], bool] | None,
     max_launches: int | None,
     on_launch: Callable[[Task, Server], None] | None,
+    score_cache: CloneScoreCache | None = None,
 ) -> int:
     launched = 0
+    servers = view.cluster.servers
     # Availability only shrinks within a pass, so a demand that found no
     # server will never fit later in the pass — skip repeats (tasks of a
     # phase share one demand, making this cache very effective).
@@ -334,11 +450,21 @@ def _fill_clones(
             continue
         if budget_check is not None and not budget_check(task):
             continue
-        server = view.cluster.best_fit_server(demand)
+        if score_cache is not None:
+            # A cache hit is still one placement query answered — keep
+            # the observability counter aligned with the uncached path.
+            if view.cluster._obs_placement is not None:
+                view.cluster._count_query()
+            sid = score_cache.best_fit_id(demand)
+            server = None if sid is None else servers[sid]
+        else:
+            server = view.cluster.best_fit_server(demand)
         if server is None:
             unfittable.add(key)
             continue
         view.apply(Launch(task, server, clone=True))
+        if score_cache is not None:
+            score_cache.on_launch(server.server_id)
         if on_launch is not None:
             on_launch(task, server)
         launched += 1

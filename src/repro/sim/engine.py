@@ -202,6 +202,7 @@ class SimulationEngine:
         self._decision_cause = "init"
 
         # Accounting
+        self.events_processed = 0
         self.clones_launched = 0
         self.copies_launched = 0
         self.clone_occupancy = Resources(0.0, 0.0)
@@ -522,12 +523,20 @@ class SimulationEngine:
         self._account_until(self.now)
         victims = sorted(server.running_copies, key=lambda c: c.copy_uid)
         tasks: list[Task] = []
-        for copy in victims:
-            self._apply_kill(copy)
-            copy.task.fault_losses += 1
-            if copy.task not in tasks:
-                tasks.append(copy.task)
-        server.mark_down()
+        # One crash releases every resident copy on the same server:
+        # coalesce the whole victim sweep (plus the down-flag flip) into
+        # a single mirror store for that server.
+        mirror = self.cluster.mirror
+        mirror.begin_coalesce()
+        try:
+            for copy in victims:
+                self._apply_kill(copy)
+                copy.task.fault_losses += 1
+                if copy.task not in tasks:
+                    tasks.append(copy.task)
+            server.mark_down()
+        finally:
+            mirror.end_coalesce()
         requeued: list[Task] = []
         masked = 0
         for task in tasks:
@@ -659,21 +668,30 @@ class SimulationEngine:
         if not copy.live:
             return  # stale event: the copy was killed earlier
         task = copy.task
-        copy.finished = True
-        self.cluster[copy.server_id].release(copy)
-        if copy.is_clone:
-            self._release_clone(task)
-        if task.state is TaskState.FINISHED:
-            return  # another copy already won (equal-time tie)
-        # First copy wins: kill the rest and complete the task.  These
-        # kills are engine consequences of the COPY_FINISH event, not
-        # scheduler decisions, so they bypass the journal (replay
-        # re-derives them from the same event).
-        kills = 0
-        for other in task.copies:
-            if other is not copy and other.live:
-                self._apply_kill(other)
-                kills += 1
+        # Coalesce the winner's release plus the first-copy-wins kills
+        # into one mirror delta per touched server (reads flush first,
+        # and `_account_until` is a no-op inside a timestamp, so nothing
+        # observes the deferred window).
+        mirror = self.cluster.mirror
+        mirror.begin_coalesce()
+        try:
+            copy.finished = True
+            self.cluster[copy.server_id].release(copy)
+            if copy.is_clone:
+                self._release_clone(task)
+            if task.state is TaskState.FINISHED:
+                return  # another copy already won (equal-time tie)
+            # First copy wins: kill the rest and complete the task.  These
+            # kills are engine consequences of the COPY_FINISH event, not
+            # scheduler decisions, so they bypass the journal (replay
+            # re-derives them from the same event).
+            kills = 0
+            for other in task.copies:
+                if other is not copy and other.live:
+                    self._apply_kill(other)
+                    kills += 1
+        finally:
+            mirror.end_coalesce()
         task.complete(self.now)
         ins = self._ins
         if ins is not None and kills:
@@ -839,59 +857,100 @@ class SimulationEngine:
         prof = obs.profiler if obs is not None else None
         ev_child = self._ev_child
         span_name = self._ev_span_name
+        events = self.events
+        sanitizer = self.sanitizer
         run_t0 = _wallclock.perf_counter()
 
-        while self.events:
+        # Batched drain (DESIGN.md §5.6): every event sharing the
+        # earliest timestamp is popped in one heap sweep and processed
+        # from a local list, preserving the exact (time, kind, seq)
+        # order the per-event loop produced.  Two escape valves keep the
+        # order bit-identical when processing pushes *new* events at the
+        # current instant: (a) a head check before each local event, in
+        # case a pushed event sorts earlier (smaller kind — pushed seqs
+        # are always larger); (b) a re-drain once the local list runs
+        # out.  One schedule pass still closes each instant, exactly as
+        # before; batching never reorders or merges decision points.
+        stop = False
+        while events and not stop:
             if self.faults is not None and not self.workload_active():
                 break  # only fault events remain once the workload drains
-            ev = self.events.pop()
-            if ev.time > self.max_time:
+            batch = events.pop_batch()
+            t = batch[0].time
+            if t > self.max_time:
                 raise RuntimeError(
                     f"simulation exceeded max_time={self.max_time:g} "
                     f"(possible starvation under {self.scheduler.name})"
                 )
-            self._account_until(ev.time)
-            self.now = ev.time
+            self._account_until(t)
+            self.now = t
 
-            if ev_child is not None:
-                ev_child[ev.kind].inc()
-            span = (
-                tracer.enter(span_name[ev.kind]) if tracer is not None else None
-            )
-            frame = prof.enter("engine") if prof is not None else None
-            try:
-                if ev.kind is EventKind.JOB_ARRIVAL:
-                    self._process_arrival(ev.payload)
-                    dirty = True
-                elif ev.kind is EventKind.COPY_FINISH:
-                    self._process_copy_finish(ev.payload)
-                    dirty = True
-                elif ev.kind is not EventKind.SCHEDULE_TICK:
-                    dirty = self._process_fault_event(ev)
-                else:  # SCHEDULE_TICK
-                    dirty = False
-                    self._run_schedule_pass()
-                    # Slotted mode sustains the tick chain; event-driven mode
-                    # only sees one-shot wakeups (delayed-phase arming).
-                    if slotted and (self.active_jobs or self.events):
-                        nxt = self._next_tick_time()
-                        if nxt is not None:
-                            self.events.push(nxt, EventKind.SCHEDULE_TICK)
+            idx = 0
+            n = len(batch)
+            while True:
+                # -- select the next event in exact pop order ----------
+                if idx < n:
+                    ev = batch[idx]
+                    hk = events.peek_key()
+                    if hk is not None and hk[0] == t and (hk[1], hk[2]) < (ev.kind, ev.seq):
+                        ev = events.pop()  # zero-delay push sorted earlier
+                    else:
+                        idx += 1
+                elif events.peek_time() == t:
+                    batch = events.pop_batch()  # pushed while processing
+                    n = len(batch)
+                    ev = batch[0]
+                    idx = 1
+                else:
+                    break
+                if self.faults is not None and not self.workload_active():
+                    stop = True  # drop the fault tail mid-instant too
+                    break
 
-                if not slotted and dirty:
-                    # Batch same-time events into one pass.
-                    nxt = self.events.peek()
-                    if nxt is None or nxt.time > self.now:
+                self.events_processed += 1
+                kind = ev.kind
+                if ev_child is not None:
+                    ev_child[kind].inc()
+                span = tracer.enter(span_name[kind]) if tracer is not None else None
+                frame = prof.enter("engine") if prof is not None else None
+                try:
+                    if kind is EventKind.JOB_ARRIVAL:
+                        self._process_arrival(ev.payload)
+                        dirty = True
+                    elif kind is EventKind.COPY_FINISH:
+                        self._process_copy_finish(ev.payload)
+                        dirty = True
+                    elif kind is not EventKind.SCHEDULE_TICK:
+                        dirty = self._process_fault_event(ev)
+                    else:  # SCHEDULE_TICK
+                        dirty = False
                         self._run_schedule_pass()
-            finally:
-                if frame is not None:
-                    prof.exit(frame)
-                if span is not None:
-                    tracer.exit(span)
+                        # Slotted mode sustains the tick chain; event-driven
+                        # mode only sees one-shot wakeups (delayed-phase
+                        # arming).  `idx < n` counts locally-held events the
+                        # per-event loop would still see queued.
+                        if slotted and (self.active_jobs or idx < n or events):
+                            nxt = self._next_tick_time()
+                            if nxt is not None:
+                                events.push(nxt, EventKind.SCHEDULE_TICK)
 
-            if self.sanitizer is not None:
-                self.sanitizer.after_event(f"{ev.kind.name} @ t={ev.time:g}")
-            self._check_progress()
+                    if not slotted and dirty and idx >= n and events.peek_time() != t:
+                        # Last state change of this instant: one pass.
+                        self._run_schedule_pass()
+                finally:
+                    if frame is not None:
+                        prof.exit(frame)
+                    if span is not None:
+                        tracer.exit(span)
+
+                if sanitizer is not None:
+                    sanitizer.after_event(f"{kind.name} @ t={t:g}")
+                if idx >= n:
+                    # Mid-batch the locally-held events are still pending
+                    # work, so starvation can only be judged at the end of
+                    # the instant (the per-event loop agrees: it never
+                    # fired with same-time events still queued).
+                    self._check_progress()
 
         ins = self._ins
         if ins is not None:

@@ -23,6 +23,17 @@ arrivals, faults) are processed before the tick that should observe
 them.  The relative order of the original three kinds (COPY_FINISH <
 JOB_ARRIVAL < SCHEDULE_TICK) is preserved, so runs without fault
 injection break ties exactly as they did before the fault kinds existed.
+
+Drain API
+---------
+
+The queue is the single source of event ordering; simulation logic must
+consume it only through :meth:`EventQueue.pop`, :meth:`EventQueue.pop_batch`
+and the :meth:`EventQueue.peek` family (repro-lint RL008 rejects direct
+``_heap`` iteration elsewhere).  ``pop_batch`` drains every event sharing
+the earliest timestamp in one call, preserving the exact (time, kind,
+seq) order ``pop`` would produce — the engine uses it to coalesce
+same-instant capacity releases into a single mirror delta.
 """
 
 from __future__ import annotations
@@ -68,26 +79,59 @@ class Event:
 
 
 class EventQueue:
-    """A heap of events with stable FIFO tie-breaking."""
+    """A heap of events with stable FIFO tie-breaking.
+
+    Heap entries are ``(time, kind, seq, Event)`` tuples rather than the
+    events themselves: tuple comparison is C-speed and short-circuits on
+    ``time``, where the dataclass ``__lt__`` was a measured hotspot in
+    long runs (millions of comparisons).  ``seq`` is unique, so the
+    ``Event`` slot is never compared.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
         ev = Event(time, kind, next(self._seq), payload)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, kind, ev.seq, ev))
         return ev
 
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from empty event queue")
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)[3]
+
+    def pop_batch(self) -> list[Event]:
+        """Pop every event sharing the earliest timestamp, in pop order.
+
+        Equivalent to repeated :meth:`pop` while :meth:`peek_time` equals
+        the first popped event's time; callers that push new events while
+        processing a batch must re-check :meth:`peek_key` against the
+        remaining batch entries to preserve exact per-event order (the
+        engine's drain loop does).
+        """
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        heap = self._heap
+        t = heap[0][0]
+        batch = [heapq.heappop(heap)[3]]
+        while heap and heap[0][0] == t:
+            batch.append(heapq.heappop(heap)[3])
+        return batch
 
     def peek(self) -> Optional[Event]:
-        return self._heap[0] if self._heap else None
+        return self._heap[0][3] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest pending timestamp, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def peek_key(self) -> Optional[tuple[float, int, int]]:
+        """The (time, kind, seq) ordering key of the head event."""
+        return self._heap[0][:3] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -67,7 +67,8 @@ class Job:
     def phase_ready(self, phase: Phase, now: float | None = None) -> bool:
         """Eq. (7): a phase may run only once all parent phases finished
         (plus its shuffle/start delay, when a current time is given)."""
-        if not all(self.phases[p].is_finished for p in phase.parents):
+        parents = phase.parents
+        if parents and not all(self.phases[p].is_finished for p in parents):
             return False
         if now is None or phase.start_delay == 0.0:
             return True

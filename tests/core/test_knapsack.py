@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.knapsack import max_count_knapsack, max_count_knapsack_exact
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knapsack import (
+    max_count_knapsack,
+    max_count_knapsack_batch,
+    max_count_knapsack_exact,
+)
 
 
 class TestGreedy:
@@ -93,3 +100,53 @@ class TestExactDP:
     def test_profit_length_mismatch(self):
         with pytest.raises(ValueError):
             max_count_knapsack_exact([1.0], 1.0, profits=[1, 2])
+
+
+class TestBatchOracle:
+    """max_count_knapsack_batch == one scalar call per capacity (the
+    vectorized doubling-category pass rides on this equivalence)."""
+
+    weights_st = st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+        max_size=30,
+    )
+    caps_st = st.lists(
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(weights_st, caps_st)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_per_capacity(self, weights, caps):
+        batch = max_count_knapsack_batch(weights, caps)
+        assert len(batch) == len(caps)
+        for cap, sel in zip(caps, batch):
+            assert [int(i) for i in sel] == max_count_knapsack(weights, cap)
+
+    @given(weights_st, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_eligibility_matches_filtered_scalar(self, weights, data):
+        """Per-instance masks == compact-then-solve-then-map-back, the
+        exact shape of the scalar per-level loop in compute_priorities."""
+        n = len(weights)
+        caps = data.draw(self.caps_st)
+        masks = [
+            np.asarray(
+                data.draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+            )
+            for _ in caps
+        ]
+        batch = max_count_knapsack_batch(weights, caps, eligible=masks)
+        for cap, mask, sel in zip(caps, masks, batch):
+            idx = np.flatnonzero(mask)
+            chosen = max_count_knapsack([weights[i] for i in idx], cap)
+            assert [int(i) for i in sel] == sorted(int(idx[j]) for j in chosen)
+
+    def test_eligible_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            max_count_knapsack_batch([1.0], [2.0, 3.0], eligible=[np.array([True])])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_count_knapsack_batch([1.0], [-1.0])

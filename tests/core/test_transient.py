@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.core.transient import compute_priorities, num_levels, priority_groups
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transient import (
+    _compute_priorities_scalar,
+    _compute_priorities_vectorized,
+    compute_priorities,
+    num_levels,
+    priority_groups,
+)
 from repro.core.volume import JobMeasure
 
 
@@ -140,3 +149,39 @@ class TestDoublingCategoryBoundaries:
         prios = compute_priorities([m(0, 0.5, 2.0), m(1, 0.5, 2.0 + 1e-9)])
         assert prios[0] == 1
         assert prios[1] == 2
+
+
+class TestVectorizedEquivalence:
+    """The vectorized doubling-category pass == the scalar reference
+    loop, exactly, over arbitrary measure sets."""
+
+    measures_st = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+    @given(measures_st)
+    @settings(max_examples=200, deadline=None)
+    def test_vectorized_matches_scalar(self, triples):
+        measures = [
+            m(i, volume, length, share)
+            for i, (volume, length, share) in enumerate(triples)
+        ]
+        ids = [meas.job_id for meas in measures]
+        assert _compute_priorities_vectorized(measures, ids) == (
+            _compute_priorities_scalar(measures)
+        )
+
+    def test_env_hatch_selects_scalar(self, monkeypatch):
+        """REPRO_SCALAR_PRIORITIES flips the dispatcher (and the two
+        paths agree on the dispatched result)."""
+        measures = [m(0, 3.0, 2.0), m(1, 1.0, 1.0), m(2, 50.0, 40.0)]
+        monkeypatch.setenv("REPRO_SCALAR_PRIORITIES", "1")
+        scalar = compute_priorities(measures)
+        monkeypatch.delenv("REPRO_SCALAR_PRIORITIES")
+        assert compute_priorities(measures) == scalar

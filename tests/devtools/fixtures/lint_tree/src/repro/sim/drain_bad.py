@@ -1,0 +1,14 @@
+"""RL008 true positives: event-queue access outside the drain API."""
+
+
+def steal_next(engine):
+    return engine.events._heap[0]
+
+
+def requeue_all(events):
+    for ev in events:
+        events.push(ev.time, ev.kind, ev.payload)
+
+
+def jump_queue(event_queue):
+    return event_queue[0]

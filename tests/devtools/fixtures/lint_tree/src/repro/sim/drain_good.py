@@ -1,0 +1,20 @@
+"""RL008 allowed idioms: the engine's drain API and waived debugging."""
+
+
+def drain(engine):
+    events = engine.events
+    handled = 0
+    while events:
+        batch = events.pop_batch()
+        for ev in batch:
+            handled += 1
+    return handled
+
+
+def schedule(events, t, kind, payload):
+    events.push(t, kind, payload)
+    return len(events), events.peek_time()
+
+
+def debug_peek(events):
+    return events._heap[0]  # repro-lint: ignore[RL008]

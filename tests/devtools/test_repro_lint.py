@@ -52,6 +52,7 @@ def rules_in(violations, filename):
         ("RL005", "core/eps_bad.py", [3, 3, 7]),
         ("RL006", "schedulers/iter_bad.py", [5, 7, 9]),
         ("RL007", "schedulers/protocol_bad.py", [5, 6, 7, 8, 9]),
+        ("RL008", "sim/drain_bad.py", [5, 9, 14]),
     ],
 )
 def test_rule_flags_bad_fixture(fixture_violations, rule, filename, lines):
@@ -71,6 +72,7 @@ def test_rule_flags_bad_fixture(fixture_violations, rule, filename, lines):
         "resources.py",  # the canonical EPS home
         "schedulers/iter_good.py",  # sorted(...) with explicit keys
         "schedulers/protocol_good.py",  # typed actions via view.apply
+        "sim/drain_good.py",  # pop_batch/peek drain API, inline waiver
     ],
 )
 def test_allowed_idioms_not_flagged(fixture_violations, filename):
@@ -86,6 +88,7 @@ def test_no_cross_rule_noise(fixture_violations):
     assert rules_in(fixture_violations, "core/eps_bad.py") == {"RL005"}
     assert rules_in(fixture_violations, "schedulers/iter_bad.py") == {"RL006"}
     assert rules_in(fixture_violations, "schedulers/protocol_bad.py") == {"RL007"}
+    assert rules_in(fixture_violations, "sim/drain_bad.py") == {"RL008"}
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Batched/lazy/vectorized engine paths vs the eager scalar reference.
+
+The batched event-loop engine ships three escape hatches —
+``REPRO_EAGER_PRIORITIES`` (per-event priority recompute instead of the
+lazy copy-on-write roster), ``REPRO_SCALAR_PRIORITIES`` (per-level
+knapsack loop instead of the batched doubling-category pass) and
+``REPRO_SCALAR_CLONE_FILL`` (fresh best-fit query per clone instead of
+the per-pass score cache).  Each hatch, and all of them together, must
+be a pure performance change: identical copy-launch sequences and
+bit-identical metrics, in event-driven and slotted modes, with and
+without fault injection (DESIGN.md §5.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.core.online import DollyMPScheduler
+from repro.devtools.fault_smoke import SMOKE_PROFILE
+from repro.sim.runner import run_simulation
+from tests.integration.test_vectorized_equivalence import (
+    SEED,
+    launch_log,
+    mixed_dag_jobs,
+)
+
+HATCHES = (
+    "REPRO_EAGER_PRIORITIES",
+    "REPRO_SCALAR_PRIORITIES",
+    "REPRO_SCALAR_CLONE_FILL",
+)
+
+
+def run_one(monkeypatch, env, *, schedule_interval=0.0, fault_profile=None):
+    for key in HATCHES:
+        monkeypatch.delenv(key, raising=False)
+    for key in env:
+        monkeypatch.setenv(key, "1")
+    jobs = mixed_dag_jobs()
+    result = run_simulation(
+        paper_cluster_30_nodes(),
+        DollyMPScheduler(max_clones=2),
+        jobs,
+        seed=SEED,
+        schedule_interval=schedule_interval,
+        max_time=1e7,
+        fault_profile=fault_profile,
+    )
+    return result, launch_log(jobs)
+
+
+def assert_equivalent(a, b):
+    res_a, log_a = a
+    res_b, log_b = b
+    assert log_a == log_b
+    assert np.array_equal(res_a.flowtimes(), res_b.flowtimes())
+    assert res_a.total_flowtime == res_b.total_flowtime
+    assert res_a.makespan == res_b.makespan
+    assert res_a.copies_launched == res_b.copies_launched
+    assert res_a.clones_launched == res_b.clones_launched
+    assert res_a.avg_utilization == res_b.avg_utilization
+
+
+@pytest.mark.parametrize(
+    "env",
+    [
+        ("REPRO_EAGER_PRIORITIES",),
+        ("REPRO_SCALAR_PRIORITIES",),
+        ("REPRO_SCALAR_CLONE_FILL",),
+        HATCHES,
+    ],
+    ids=["eager-priorities", "scalar-priorities", "scalar-clone-fill", "all-hatches"],
+)
+def test_each_hatch_is_identity(monkeypatch, env):
+    assert_equivalent(run_one(monkeypatch, ()), run_one(monkeypatch, env))
+
+
+def test_all_hatches_slotted(monkeypatch):
+    assert_equivalent(
+        run_one(monkeypatch, (), schedule_interval=5.0),
+        run_one(monkeypatch, HATCHES, schedule_interval=5.0),
+    )
+
+
+def test_all_hatches_under_faults(monkeypatch):
+    """Fault churn exercises the batched drain's same-instant ordering
+    (kills, requeues, server sweeps); the hatched run must still match."""
+    base = run_one(monkeypatch, (), schedule_interval=5.0, fault_profile=SMOKE_PROFILE)
+    hatched = run_one(
+        monkeypatch, HATCHES, schedule_interval=5.0, fault_profile=SMOKE_PROFILE
+    )
+    assert base[0].faults_injected > 0
+    assert_equivalent(base, hatched)

@@ -1,11 +1,15 @@
 """Unit tests for the shared placement loops."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.cluster.mirror import AvailabilityMirror
 from repro.resources import Resources
 from repro.schedulers.base import Scheduler
 from repro.schedulers.packing import (
+    CloneScoreCache,
     fill_clones_best_fit,
     fill_tasks_best_fit,
     next_pending_task,
@@ -149,3 +153,58 @@ class TestFillClones:
             view, list(job.phases[0].tasks), max_launches=2
         )
         assert launched == 2
+
+
+class _StubServer:
+    """Just enough Server surface for AvailabilityMirror."""
+
+    def __init__(self, sid: int, capacity: Resources) -> None:
+        self.server_id = sid
+        self.capacity = capacity
+        self.available = capacity
+        self.allocated = Resources(0.0, 0.0)
+        self.up = True
+
+
+class TestCloneScoreCache:
+    """The per-pass memo must answer exactly like a fresh
+    ``mirror.best_fit`` at every step, as long as every availability
+    change flows through ``on_launch`` — the pass-2 usage contract."""
+
+    demands = (
+        Resources(1.0, 0.5),
+        Resources(2.0, 2.0),
+        Resources(0.5, 1.5),
+        Resources(3.0, 1.0),
+    )
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_best_fit_under_launch_sequences(self, data):
+        caps = [Resources(4.0, 4.0), Resources(8.0, 6.0), Resources(2.0, 3.0)]
+        servers = [
+            _StubServer(i, caps[data.draw(st.integers(0, len(caps) - 1))])
+            for i in range(data.draw(st.integers(1, 8)))
+        ]
+        mirror = AvailabilityMirror(servers)
+        cache = CloneScoreCache(mirror)
+        for _ in range(data.draw(st.integers(0, 25))):
+            demand = data.draw(st.sampled_from(self.demands))
+            expect = mirror.best_fit(demand)
+            got = cache.best_fit_id(demand)
+            if expect is None:
+                assert got is None
+                continue
+            assert got == expect[0]
+            # Launch on the chosen server: shrink availability through
+            # the mirror, then invalidate via the cache's own hook.
+            server = servers[got]
+            server.available = server.available - demand
+            server.allocated = server.allocated + demand
+            mirror.update(server)
+            cache.on_launch(got)
+
+    def test_returns_none_when_nothing_fits(self):
+        servers = [_StubServer(0, Resources(1.0, 1.0))]
+        cache = CloneScoreCache(AvailabilityMirror(servers))
+        assert cache.best_fit_id(Resources(2.0, 2.0)) is None

@@ -57,6 +57,56 @@ class TestEventQueueProperties:
             else:
                 assert a.time < b.time
 
+    @given(pushes)
+    @settings(max_examples=200, deadline=None)
+    def test_pop_batch_flattens_to_pop_order(self, items):
+        """Batched drains are a pure chunking of the per-event order.
+
+        ``kinds`` spans every EventKind, so same-instant fault events
+        (COPY_FAIL, SERVER_FAIL, recoveries) ride through the batch path
+        in the same positions the scalar pop loop would give them.
+        """
+        q_pop, q_batch = EventQueue(), EventQueue()
+        for i, (t, k) in enumerate(items):
+            q_pop.push(t, k, payload=i)
+            q_batch.push(t, k, payload=i)
+        ref = drain(q_pop)
+        batched = []
+        while q_batch:
+            batch = q_batch.pop_batch()
+            t = batch[0].time
+            # One timestamp per batch, and the batch is maximal: the
+            # next pending event (if any) is strictly later.
+            assert all(ev.time == t for ev in batch)
+            nxt = q_batch.peek_time()
+            assert nxt is None or nxt > t
+            batched.extend(batch)
+        assert [(e.time, e.kind, e.payload) for e in batched] == [
+            (e.time, e.kind, e.payload) for e in ref
+        ]
+
+    @given(st.lists(kinds, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_times_give_batches_of_one(self, ks):
+        """With no timestamp ties, pop_batch degenerates to pop."""
+        q = EventQueue()
+        for i, k in enumerate(ks):
+            q.push(float(i), k, payload=i)
+        while q:
+            assert len(q.pop_batch()) == 1
+
+    @given(st.permutations(list(EventKind)))
+    @settings(max_examples=100, deadline=None)
+    def test_same_instant_batch_orders_all_kinds(self, perm):
+        """A single-instant batch sorts every kind — fault kinds
+        included — by the EventKind numeric order."""
+        q = EventQueue()
+        for k in perm:
+            q.push(5.0, k)
+        batch = q.pop_batch()
+        assert [e.kind for e in batch] == sorted(EventKind)
+        assert not q
+
     @given(st.data())
     @settings(max_examples=100, deadline=None)
     def test_interleaved_push_pop_matches_model(self, data):

@@ -546,4 +546,76 @@ class _RL007:
         return node.id, list(reversed(parts))
 
 
-ALL_RULES = (_RL001(), _RL002(), _RL003(), _RL004(), _RL005(), _RL006(), _RL007())
+# ======================================================================
+# RL008 — event-queue access only through the engine's drain API
+# ======================================================================
+
+#: Modules that own the event heap.  Everyone else interacts with the
+#: queue through ``push``/``pop``/``pop_batch``/``peek_*``; reaching
+#: into ``_heap`` — or walking / indexing the queue wholesale — bypasses
+#: the (time, kind, seq) tie-break contract the batched drain relies on
+#: (DESIGN.md §5.6).
+_RL008_OWNERS = ("src/repro/sim/events.py", "src/repro/sim/engine.py")
+
+#: Names that denote the simulation event queue in this codebase
+#: (``engine.events`` and the locals it gets bound to).
+_EVENT_QUEUE_NAME = re.compile(r"^_?(events|event_queue)$")
+
+
+class _RL008:
+    rule_id = "RL008"
+    summary = "event queue accessed outside the engine's drain API"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/") and relpath not in _RL008_OWNERS
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_heap":
+                yield Finding(
+                    node.lineno,
+                    node.col_offset,
+                    "access to the event queue's private `._heap` — sim logic "
+                    "must use the drain API (push/pop/pop_batch/peek_*) so "
+                    "the (time, kind, seq) tie-break stays engine-owned",
+                )
+                continue
+            if isinstance(node, ast.Subscript):
+                name = _terminal_name(node.value)
+                if name is not None and _EVENT_QUEUE_NAME.match(name):
+                    yield Finding(
+                        node.lineno,
+                        node.col_offset,
+                        f"indexing `{name}[...]` peeks past the queue head — "
+                        "use peek_time/peek_key or drain via pop_batch",
+                    )
+                continue
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                name = _terminal_name(it)
+                if name is not None and _EVENT_QUEUE_NAME.match(name):
+                    yield Finding(
+                        it.lineno,
+                        it.col_offset,
+                        f"iterating `{name}` walks the heap in storage order, "
+                        "not drain order — only the engine's pop/pop_batch "
+                        "defines event order",
+                    )
+
+
+ALL_RULES = (
+    _RL001(),
+    _RL002(),
+    _RL003(),
+    _RL004(),
+    _RL005(),
+    _RL006(),
+    _RL007(),
+    _RL008(),
+)
