@@ -14,8 +14,12 @@ COV_FAIL_UNDER = $(shell sed -n 's/^fail_under *= *//p' pyproject.toml)
 check:
 	@MAKE="$(MAKE)" sh tools/check.sh
 
+# Full analyzer: per-file rules + whole-program dataflow + stale-waiver
+# check, gated against the committed baseline.  The SARIF report lands
+# in artifacts/lint/ (uploaded by CI); findings still print as text.
 lint:
-	$(PYTHON) -m tools.repro_lint src tests benchmarks
+	$(PYTHON) -m tools.repro_lint --unused-ignores --format sarif \
+		--output artifacts/lint/repro_lint.sarif src tests benchmarks
 
 test:
 	$(PYTHON) -m pytest -x -q

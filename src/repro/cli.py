@@ -36,7 +36,8 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Sequence
+from types import MappingProxyType
+from typing import Callable, Mapping, Sequence
 
 from repro.analysis.report import comparison_table
 from repro.cluster.heterogeneity import (
@@ -69,7 +70,8 @@ from repro.workload.mapreduce import pagerank_job, wordcount_job
 
 __all__ = ["main", "SCHEDULER_FACTORIES"]
 
-SCHEDULER_FACTORIES: dict[str, Callable[[], object]] = {
+# Frozen: shared module state must stay immutable (repro-lint RL014).
+SCHEDULER_FACTORIES: Mapping[str, Callable[[], object]] = MappingProxyType({
     "fifo": FIFOScheduler,
     "capacity": CapacityScheduler,
     "srpt": SRPTScheduler,
@@ -83,7 +85,7 @@ SCHEDULER_FACTORIES: dict[str, Callable[[], object]] = {
     "dollymp2": lambda: DollyMPScheduler(max_clones=2),
     "dollymp3": lambda: DollyMPScheduler(max_clones=3),
     "learning-dollymp2": lambda: LearningDollyMPScheduler(max_clones=2),
-}
+})
 
 
 def make_scheduler(name: str):

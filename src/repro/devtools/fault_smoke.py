@@ -74,12 +74,12 @@ def _check_capacity(cluster) -> str | None:
         if server.up:
             # Exact comparison on purpose: a drained server must return
             # to its capacity bit-for-bit.
-            if server.available != server.capacity:  # repro-lint: ignore[RL003]
+            if server.available != server.capacity:
                 return (
                     f"up server {server.server_id} leaked capacity: "
                     f"available {server.available} != capacity {server.capacity}"
                 )
-        elif server.available != Resources(0.0, 0.0):  # repro-lint: ignore[RL003]
+        elif server.available != Resources(0.0, 0.0):
             return (
                 f"down server {server.server_id} exposes capacity: "
                 f"available {server.available} != 0"

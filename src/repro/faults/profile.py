@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from types import MappingProxyType
+from typing import Mapping
 
 __all__ = ["FaultProfile", "FAULT_PROFILES", "named_profile"]
 
@@ -109,7 +111,8 @@ class FaultProfile:
 
 
 #: Named presets for the CLI's ``--fault-profile`` and the test battery.
-FAULT_PROFILES: dict[str, FaultProfile] = {
+#: Frozen: shared module state must stay immutable (repro-lint RL014).
+FAULT_PROFILES: Mapping[str, FaultProfile] = MappingProxyType({
     "none": FaultProfile(),
     # Server crash/recover churn only: one crash every ~10 simulated
     # minutes per server, ~45 s repairs.
@@ -130,7 +133,7 @@ FAULT_PROFILES: dict[str, FaultProfile] = {
         slowdown_factor=2.5,
         slowdown_duration=45.0,
     ),
-}
+})
 
 
 def named_profile(

@@ -74,14 +74,15 @@ class TraceJobSpec:
 
 # Discrete demand menu mirroring the bucketed CPU/memory requests of the
 # Google traces (values in cores / GB); weights skew toward small requests.
-_DEMAND_MENU: list[tuple[float, float, float]] = [
+# Frozen: shared module state must stay immutable (repro-lint RL014).
+_DEMAND_MENU: tuple[tuple[float, float, float], ...] = (
     # (cpu, mem, weight)
     (0.5, 1.0, 0.25),
     (1.0, 2.0, 0.40),
     (2.0, 4.0, 0.22),
     (4.0, 8.0, 0.10),
     (8.0, 16.0, 0.03),
-]
+)
 
 
 class GoogleTraceGenerator:

@@ -194,7 +194,7 @@ class TestBudgetReturnRegression:
         # Bitwise zero — not just within epsilon: the engine snaps the
         # incremental occupancy when the last live clone exits, so float
         # subtraction dust cannot accumulate across clone waves.
-        assert engine.clone_occupancy == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
+        assert engine.clone_occupancy == Resources(0.0, 0.0)
         policy = CloningPolicy(budget_fraction=0.3)
         full = policy.budget_remaining(engine.cluster)
         assert policy.budget_remaining(
@@ -249,8 +249,8 @@ class TestBudgetReturnRegression:
         # saw the budget fully returned — bitwise.
         wave2 = [occ for t, occ in observed if t == 50.0]
         assert wave2, "no schedule pass observed at wave 2's arrival"
-        assert wave2[0] == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
-        assert engine.clone_occupancy == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
+        assert wave2[0] == Resources(0.0, 0.0)
+        assert engine.clone_occupancy == Resources(0.0, 0.0)
 
     def test_fault_killed_clone_returns_budget(self):
         """A clone lost to a server crash returns its budget share
@@ -276,11 +276,11 @@ class TestBudgetReturnRegression:
                     assert view.clone_occupancy.cpu > 0.0
                     view.apply(Fail(view.cluster[1]))
                     # The clone died with its server: budget back, bitwise.
-                    assert view.clone_occupancy == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
+                    assert view.clone_occupancy == Resources(0.0, 0.0)
 
         jobs = [make_single_task_job(theta=10.0, job_id=0)]
         engine = self._make_engine(CrashCloneServer(), jobs)
         result = engine.run()
         assert len(result.records) == 1
         assert engine.recoveries_masked_by_clone == 1
-        assert engine.clone_occupancy == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
+        assert engine.clone_occupancy == Resources(0.0, 0.0)

@@ -1,0 +1,1 @@
+"""Fixture package for the whole-program passes (RL010-RL014)."""

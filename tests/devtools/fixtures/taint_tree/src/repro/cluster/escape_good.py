@@ -1,0 +1,10 @@
+"""Clean: reads through aliases and the sanctioned owner API."""
+
+
+def headroom(mirror):
+    arr = mirror.avail_cpu
+    return arr[0] + arr[1]
+
+
+def give_back(server, demand):
+    server.release(demand)

@@ -1,0 +1,11 @@
+"""Owner module: the availability mirror."""
+
+
+class AvailabilityMirror:
+    def __init__(self, n):
+        self.avail_cpu = [0.0] * n
+        self.avail_mem = [0.0] * n
+
+    def update(self, i, cpu, mem):
+        self.avail_cpu[i] = cpu
+        self.avail_mem[i] = mem

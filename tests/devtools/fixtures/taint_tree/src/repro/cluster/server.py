@@ -1,0 +1,14 @@
+"""Owner module: sanctioned writer of capacity state."""
+
+
+class Server:
+    def __init__(self, cap_cpu, cap_mem):
+        self._available = [cap_cpu, cap_mem]
+
+    def allocate(self, demand):
+        self._available[0] -= demand.cpu
+        self._available[1] -= demand.mem
+
+    def release(self, demand):
+        self._available[0] += demand.cpu
+        self._available[1] += demand.mem

@@ -1,0 +1,6 @@
+"""Minimal Scheduler base so subclasses become decision sinks."""
+
+
+class Scheduler:
+    def schedule(self, view):
+        raise NotImplementedError

@@ -1,0 +1,13 @@
+"""Clean scheduler: every decision input is threaded sim state."""
+
+from repro.schedulers.base import Scheduler
+from repro.util.clock import threaded
+from repro.util.ids import stable_key
+
+
+class CleanScheduler(Scheduler):
+    def schedule(self, view, now, rng):
+        horizon = threaded(now)
+        slack = float(rng.exponential(1.0))
+        jobs = sorted(view.jobs, key=stable_key)
+        return [(job, horizon + slack) for job in jobs]

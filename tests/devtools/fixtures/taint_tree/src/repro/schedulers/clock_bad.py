@@ -1,0 +1,10 @@
+"""RL010 true positive: wall-clock laundered through helpers into a hook."""
+
+from repro.schedulers.base import Scheduler
+from repro.util.clock import relay
+
+
+class ClockScheduler(Scheduler):
+    def schedule(self, view):
+        deadline = relay()                  # line 9: tainted helper in sink
+        return deadline

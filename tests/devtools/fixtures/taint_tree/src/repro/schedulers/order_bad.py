@@ -1,0 +1,12 @@
+"""RL012 true positives: iteration-order-dependent values in a hook."""
+
+from repro.schedulers.base import Scheduler
+from repro.util.ids import order_key, pending
+
+
+class OrderScheduler(Scheduler):
+    def schedule(self, view):
+        picks = []
+        for job in pending(view.jobs):      # line 10: iterates a set return
+            picks.append(order_key(job))    # line 11: id()-derived value
+        return picks

@@ -1,0 +1,9 @@
+"""RL011 true positive: unseeded RNG laundered into a decision hook."""
+
+from repro.schedulers.base import Scheduler
+from repro.util.entropy import jitter
+
+
+class JitterScheduler(Scheduler):
+    def on_job_arrival(self, view, job):
+        return job.cost + jitter()          # line 9: tainted helper in sink

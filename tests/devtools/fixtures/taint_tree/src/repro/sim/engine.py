@@ -1,0 +1,17 @@
+"""Minimal engine so apply/push become recognized sinks."""
+
+
+class EventQueue:
+    def __init__(self):
+        self._heap = []
+
+    def push(self, item):
+        self._heap.append(item)
+
+
+class SimulationEngine:
+    def __init__(self):
+        self.events = EventQueue()
+
+    def apply(self, action):
+        return action

@@ -1,0 +1,13 @@
+"""RL010/RL011 true positives: tainted arguments into push/apply."""
+
+from repro.util import stamp
+from repro.util.entropy import jitter
+
+
+def enqueue_now(events):
+    events.push(stamp())                    # line 8: wall-clock into push
+
+
+def apply_jitter(view):
+    delay = jitter()
+    view.apply(delay)                       # line 13: RNG local into apply

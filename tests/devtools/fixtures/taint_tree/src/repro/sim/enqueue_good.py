@@ -1,0 +1,9 @@
+"""Clean: events/actions derive from threaded sim state."""
+
+
+def enqueue(events, when):
+    events.push(when)
+
+
+def apply_action(view, action):
+    view.apply(action)

@@ -1,0 +1,19 @@
+"""RL014 true positives: shard-unsafe shared state."""
+
+CACHE = {}                                  # line 3: mutated by remember()
+
+MENU = [1, 2, 3]                            # line 5: never mutated — freeze
+
+
+def remember(key, value):
+    CACHE[key] = value
+
+
+class Registry:
+    instances = []                          # line 13: class-level container
+
+    def bump(self):
+        type(self).generation = 1           # line 16: class-attr write
+
+    def tag(self):
+        Registry.label = "x"                # line 19: class-attr write

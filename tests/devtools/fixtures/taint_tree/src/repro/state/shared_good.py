@@ -1,0 +1,13 @@
+"""Clean: frozen module state and per-instance containers."""
+
+MENU = (1, 2, 3)
+
+LIMIT = 8
+
+
+class PerRun:
+    def __init__(self):
+        self.items = []
+
+    def add(self, item):
+        self.items.append(item)

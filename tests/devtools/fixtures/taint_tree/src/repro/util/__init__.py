@@ -1,0 +1,5 @@
+"""Re-export so the analyzer must follow `from repro.util import stamp`."""
+
+from repro.util.clock import stamp
+
+__all__ = ["stamp"]

@@ -1,0 +1,18 @@
+"""Wall-clock helpers: the RL010 taint sources."""
+
+import time
+
+
+def stamp():
+    """Wall-clock read hidden behind a helper."""
+    return time.time()
+
+
+def relay():
+    """One more hop: taint must survive helper chains."""
+    return stamp() + 1.0
+
+
+def threaded(now):
+    """Clean: the caller supplies the time from seeded sim state."""
+    return now + 1.0

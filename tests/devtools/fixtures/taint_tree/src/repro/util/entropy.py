@@ -1,0 +1,13 @@
+"""RNG helpers: the RL011 taint sources."""
+
+import random
+
+
+def jitter():
+    """Global unseeded RNG behind a helper."""
+    return random.random()
+
+
+def seeded_jitter(rng):
+    """Clean: an explicit Generator is threaded in."""
+    return float(rng.random())

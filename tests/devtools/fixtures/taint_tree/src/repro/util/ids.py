@@ -1,0 +1,16 @@
+"""Ordering helpers: the RL012 taint sources."""
+
+
+def order_key(obj):
+    """id() is CPython allocation order — nondeterministic."""
+    return id(obj)
+
+
+def pending(jobs):
+    """Returns a set: iteration order is hash-order."""
+    return set(jobs)
+
+
+def stable_key(job):
+    """Clean: a semantic, sortable key."""
+    return job.name

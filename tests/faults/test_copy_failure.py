@@ -133,5 +133,5 @@ class TestFlakyEndToEnd:
             return engine.run()
 
         a, b = run_once(), run_once()
-        assert a.records == b.records  # repro-lint: ignore[RL003]
+        assert a.records == b.records
         assert a.copies_lost == b.copies_lost

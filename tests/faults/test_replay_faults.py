@@ -142,7 +142,7 @@ class TestNoFaultBitIdentity:
             fault_profile=FaultProfile(mtbf=1e15),
         )
         assert quiet.faults_injected == 0
-        assert base.records == quiet.records  # repro-lint: ignore[RL003]
+        assert base.records == quiet.records
 
 
 class TestReplayWithObservability:

@@ -91,12 +91,12 @@ class TestCrashSemantics:
         down = cluster[0]
         assert not down.up
         assert down.allocated.is_zero()
-        assert down.available == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
+        assert down.available == Resources(0.0, 0.0)
         assert len(down.running_copies) == 0
         # Recovery (applied post-run directly) restores full capacity.
         engine.apply(Recover(down))
         assert down.up
-        assert down.available == down.capacity  # repro-lint: ignore[RL003]
+        assert down.available == down.capacity
 
     def test_mirror_tracks_up_state(self):
         cluster = homogeneous_cluster(2, Resources.of(4, 4), slowdown=1.0)
@@ -106,7 +106,7 @@ class TestCrashSemantics:
         mirror = cluster.mirror
         assert not bool(mirror.up[0])
         assert bool(mirror.up[1])
-        assert float(mirror.avail_cpu[0]) == 0.0  # repro-lint: ignore[RL003]
+        assert float(mirror.avail_cpu[0]) == 0.0
         engine.apply(Recover(cluster[0]))
         assert bool(mirror.up[0])
 
@@ -169,9 +169,9 @@ class TestChurnEndToEnd:
         for server in cluster:
             if server.up:
                 # Drained cluster: full capacity back, bit-for-bit.
-                assert server.available == server.capacity  # repro-lint: ignore[RL003]
+                assert server.available == server.capacity
             else:
-                assert server.available == Resources(0.0, 0.0)  # repro-lint: ignore[RL003]
+                assert server.available == Resources(0.0, 0.0)
 
     def test_keep_one_up_protects_last_server(self):
         """A single-server cluster under heavy churn never actually

@@ -38,7 +38,7 @@ class TestWindowMechanics:
         before = server.slowdown
         engine.faults.on_slow_start(server)
         engine.faults.on_slow_end(server)
-        assert server.slowdown == before  # repro-lint: ignore[RL003]
+        assert server.slowdown == before
 
     def test_nested_windows_do_not_stack(self):
         engine = _engine_with_brownout(slowdown=1.3)
@@ -47,13 +47,13 @@ class TestWindowMechanics:
         engine.faults.on_slow_start(server)  # overlapping window
         assert server.slowdown == pytest.approx(1.3 * 3.0)  # not ×9
         engine.faults.on_slow_end(server)
-        assert server.slowdown == 1.3  # repro-lint: ignore[RL003]
+        assert server.slowdown == 1.3
 
     def test_slow_end_without_start_is_noop(self):
         engine = _engine_with_brownout(slowdown=1.3)
         server = engine.cluster[0]
         engine.faults.on_slow_end(server)
-        assert server.slowdown == 1.3  # repro-lint: ignore[RL003]
+        assert server.slowdown == 1.3
 
 
 class TestBrownoutEndToEnd:
@@ -109,4 +109,4 @@ class TestBrownoutEndToEnd:
 
         a, b = run_once(), run_once()
         assert len(a.records) == 5
-        assert a.records == b.records  # repro-lint: ignore[RL003]
+        assert a.records == b.records

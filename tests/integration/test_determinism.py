@@ -52,7 +52,7 @@ class TestSeededDeterminism:
         for job_id in first:
             # Exact equality on purpose: determinism means the same
             # floats, not the same floats within a tolerance.
-            assert first[job_id] == second[job_id], (  # repro-lint: ignore[RL003]
+            assert first[job_id] == second[job_id], (
                 f"job {job_id}: {first[job_id]!r} != {second[job_id]!r}"
             )
 
@@ -62,7 +62,7 @@ class TestSeededDeterminism:
         first = run_paper_workload(seed=1)
         second = run_paper_workload(seed=2)
         assert any(
-            first[job_id] != second[job_id]  # repro-lint: ignore[RL003]
+            first[job_id] != second[job_id]
             for job_id in first
         )
 

@@ -3,7 +3,9 @@
 The simulator's guarantees (bit-identical vectorized/scalar placement,
 reproducible straggler draws, exact capacity conservation) rest on
 coding invariants that ordinary linters cannot see.  ``repro-lint``
-checks them mechanically:
+checks them mechanically, in two layers.
+
+**Per-file rules** — one AST at a time:
 
 ========  ==============================================================
 RL001     capacity bookkeeping is written only by its owners
@@ -20,21 +22,62 @@ RL006     no iteration over unordered collections in scheduling
 RL007     scheduler/core policy code never touches ``view._engine`` or
           writes engine/cluster state — all mutation flows through the
           typed action protocol (``view.apply``)
+RL008     event-queue access only through the engine's drain API
+========  ==============================================================
+
+**Whole-program rules** — a module import graph and call graph are built
+over ``src/repro`` and dataflow passes run on top
+(:mod:`tools.repro_lint.graph` / :mod:`tools.repro_lint.dataflow`):
+
+========  ==============================================================
+RL009     stale ``# repro-lint: ignore[...]`` suppressions
+          (``--unused-ignores``)
+RL010     wall-clock values laundered through helpers into decision
+          sinks (``schedule``/``on_*`` hooks, ``apply``, event pushes)
+RL011     unseeded-RNG values laundered through helpers into decision
+          sinks
+RL012     iteration-order-dependent values (``id``/``hash``/set order)
+          reaching decision sinks
+RL013     capacity state mutated through aliases or param-mutating
+          helpers outside the owner modules (escape analysis)
+RL014     shard-unsafe shared state: module-level mutable containers,
+          class-level containers, class-attribute writes from methods
 ========  ==============================================================
 
 Run it from the repository root::
 
     python -m tools.repro_lint src tests benchmarks
+    python -m tools.repro_lint --format sarif --output lint.sarif src
+    python -m tools.repro_lint --changed-only          # fast local loop
+    python -m tools.repro_lint --list-rules
 
-Exit status is non-zero when violations are found; each is reported as
-``path:line:col: RLxxx message``.  Per-rule ignore globs live in
+Findings print as ``path:line:col: RLxxx message``.  Exit codes: 0 clean,
+1 new findings, 2 usage error, 3 internal linter error.  Pre-existing
+accepted findings are pinned (with justifications) in the committed
+baseline (``tools/repro_lint/baseline.json``, see
+:mod:`tools.repro_lint.baseline`); per-rule ignore globs live in
 ``[tool.repro-lint]`` in ``pyproject.toml``; a single line can be
 exempted with ``# repro-lint: ignore[RL003]`` (or a bare
 ``# repro-lint: ignore`` for all rules).
 """
 
+from tools.repro_lint.baseline import Baseline
 from tools.repro_lint.config import LintConfig
-from tools.repro_lint.engine import Violation, lint_file, lint_paths
-from tools.repro_lint.rules import ALL_RULES
+from tools.repro_lint.dataflow import run_whole_program
+from tools.repro_lint.engine import Violation, lint_file, lint_paths, main
+from tools.repro_lint.graph import ProgramGraph, build_program_graph
+from tools.repro_lint.rules import ALL_RULES, RULE_CATALOG
 
-__all__ = ["ALL_RULES", "LintConfig", "Violation", "lint_file", "lint_paths"]
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "LintConfig",
+    "ProgramGraph",
+    "RULE_CATALOG",
+    "Violation",
+    "build_program_graph",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "run_whole_program",
+]

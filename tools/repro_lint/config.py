@@ -25,10 +25,21 @@ __all__ = ["LintConfig"]
 
 @dataclass(frozen=True)
 class LintConfig:
-    """Per-rule and global ignore globs."""
+    """Per-rule and global ignore globs plus whole-program settings.
+
+    ``ignore`` globs apply uniformly to every rule — the per-file pack
+    (RL001–RL008), the stale-suppression check (RL009) and the
+    whole-program dataflow rules (RL010–RL014) alike.  ``program_root``
+    names the package the import/call graph is built over;
+    ``whole_program = false`` disables the dataflow passes entirely;
+    ``baseline`` is the repo-relative path of the committed baseline.
+    """
 
     exclude: tuple[str, ...] = ()
     ignore: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    program_root: str = "src/repro"
+    whole_program: bool = True
+    baseline: str = "tools/repro_lint/baseline.json"
 
     @staticmethod
     def empty() -> "LintConfig":
@@ -36,7 +47,7 @@ class LintConfig:
 
     @staticmethod
     def load(root: Path) -> "LintConfig":
-        """Config from ``<root>/pyproject.toml`` (empty when absent)."""
+        """Config from ``<root>/pyproject.toml`` (defaults when absent)."""
         pyproject = root / "pyproject.toml"
         if not pyproject.is_file():
             return LintConfig()
@@ -47,7 +58,13 @@ class LintConfig:
         ignore = {
             rule: tuple(globs) for rule, globs in table.get("ignore", {}).items()
         }
-        return LintConfig(exclude=exclude, ignore=ignore)
+        return LintConfig(
+            exclude=exclude,
+            ignore=ignore,
+            program_root=str(table.get("program-root", "src/repro")),
+            whole_program=bool(table.get("whole-program", True)),
+            baseline=str(table.get("baseline", "tools/repro_lint/baseline.json")),
+        )
 
     # ------------------------------------------------------------------
     def is_excluded(self, relpath: str) -> bool:

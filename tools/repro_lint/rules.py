@@ -1,11 +1,19 @@
-"""The repro-lint rule catalog (RL001–RL007).
+"""The per-file repro-lint rule pack (RL001–RL008) and the rule catalog.
 
-Each rule is a module-level object with a ``rule_id``, a one-line
-``summary``, an ``applies_to(relpath)`` scope predicate, and a
+Each per-file rule is a module-level object with a ``rule_id``, a
+one-line ``summary``, an ``applies_to(relpath)`` scope predicate, and a
 ``check(tree, ctx)`` method yielding :class:`Finding` tuples.  Rules are
 deliberately syntactic: they encode *coding idioms* whose violation is
 almost always a real bug in this repo, and anything intentional can be
 waived with an inline ``# repro-lint: ignore[RLxxx]``.
+
+The whole-program rules (RL010–RL014) live in
+:mod:`tools.repro_lint.dataflow` — they need the import/call graph of
+:mod:`tools.repro_lint.graph` rather than a single AST — and RL009 is
+synthesized by the engine's ``--unused-ignores`` pass.  ``RULE_CATALOG``
+below is the single source of truth for every rule id and summary
+(``--list-rules``, the SARIF driver metadata, and the README table all
+derive from it).
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["ALL_RULES", "Finding", "FileContext"]
+__all__ = ["ALL_RULES", "RULE_CATALOG", "Finding", "FileContext"]
 
 
 @dataclass(frozen=True)
@@ -619,3 +627,17 @@ ALL_RULES = (
     _RL007(),
     _RL008(),
 )
+
+#: Every rule id repro-lint can emit, with its one-line summary.  The
+#: per-file rules contribute their own summaries; RL000/RL009 are
+#: engine-synthesized; RL010–RL014 are the whole-program dataflow rules.
+RULE_CATALOG: dict[str, str] = {
+    "RL000": "file does not parse (syntax error)",
+    **{rule.rule_id: rule.summary for rule in ALL_RULES},
+    "RL009": "stale `# repro-lint: ignore[...]` suppression matches no finding",
+    "RL010": "wall-clock value reaches a decision sink through helper calls",
+    "RL011": "unseeded/global RNG value reaches a decision sink through helper calls",
+    "RL012": "iteration-order-dependent value (id/hash/set order) reaches a decision sink",
+    "RL013": "capacity state mutated via alias or helper escape outside the owner modules",
+    "RL014": "shard-unsafe shared state (module globals, class-level containers, class-attr writes)",
+}
