@@ -9,7 +9,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 # Coverage floor lives in pyproject.toml ([tool.coverage.report]).
 COV_FAIL_UNDER = $(shell sed -n 's/^fail_under *= *//p' pyproject.toml)
 
-.PHONY: check lint test smoke replay-smoke fault-smoke engine-smoke bench-check coverage bench-trajectory
+.PHONY: check lint test smoke replay-smoke fault-smoke engine-smoke service-smoke bench-check coverage bench-trajectory
 
 check:
 	@MAKE="$(MAKE)" sh tools/check.sh
@@ -35,6 +35,9 @@ fault-smoke:
 
 engine-smoke:
 	$(PYTHON) -m repro.devtools.engine_smoke
+
+service-smoke:
+	$(PYTHON) -m repro.devtools.service_smoke
 
 bench-check:
 	$(PYTHON) -m benchmarks.check_regression

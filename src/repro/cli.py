@@ -35,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from types import MappingProxyType
 from typing import Callable, Mapping, Sequence
@@ -65,6 +66,7 @@ from repro.workload.google_trace import (
     jobs_from_specs,
     load_trace,
     save_trace,
+    spec_to_dict,
 )
 from repro.workload.mapreduce import pagerank_job, wordcount_job
 
@@ -293,9 +295,28 @@ def cmd_trace(args) -> int:
         raise SystemExit("trace: --out is required")
     gen = GoogleTraceGenerator(seed=args.seed)
     specs = gen.generate(args.jobs, mean_interarrival=args.gap)
-    save_trace(specs, args.out)
+    if args.jsonl:
+        # One job-spec object per line, with explicit job ids so a
+        # served session materializes identical jobs across restarts —
+        # the input format of `python -m repro serve`.
+        specs = [replace(s, job_id=i) for i, s in enumerate(specs)]
+        lines = [json.dumps(spec_to_dict(s), sort_keys=True) for s in specs]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if args.out == "-":
+            # Pipe-friendly: the stream goes to stdout, the status line
+            # to stderr (`trace --jsonl --out - | repro serve`).
+            sys.stdout.write(text)
+        else:
+            Path(args.out).write_text(text)
+    elif args.out == "-":
+        raise SystemExit("trace: --out - requires --jsonl")
+    else:
+        save_trace(specs, args.out)
     total = sum(s.num_tasks() for s in specs)
-    print(f"wrote {len(specs)} jobs / {total} tasks to {args.out}")
+    print(
+        f"wrote {len(specs)} jobs / {total} tasks to {args.out}",
+        file=sys.stderr if args.out == "-" else sys.stdout,
+    )
     return 0
 
 
@@ -479,6 +500,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gap", type=float, default=20.0)
     p.add_argument("--out")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jsonl", action="store_true",
+        help="write one job-spec per line (the `repro serve` input format)",
+    )
     p.set_defaults(func=cmd_trace)
     tsub = p.add_subparsers(dest="trace_command")
 
@@ -510,6 +535,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_observability(p)
     p.set_defaults(func=cmd_replay)
+
+    from repro.service import add_serve_parser
+
+    add_serve_parser(
+        sub,
+        add_common=_add_common,
+        add_observability=_add_observability,
+        add_faults=_add_faults,
+    )
 
     return parser
 

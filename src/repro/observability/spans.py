@@ -40,6 +40,12 @@ DEFAULT_SPAN_MAXLEN = 1_000_000
 _AttrValue = "str | int | float | bool | None"
 
 
+def _zero_clock() -> float:
+    """Fallback clock for an unbound tracer (module-level so the tracer
+    pickles; engines rebind their own closure after restore)."""
+    return 0.0
+
+
 @dataclass
 class Span:
     """One enter/exit interval.  ``t_*`` are simulated seconds;
@@ -88,12 +94,26 @@ class SpanTracer:
     ) -> None:
         if maxlen < 1:
             raise ValueError("span maxlen must be positive")
-        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
         self.maxlen = maxlen
         self.spans: list[Span] = []
         self.dropped = 0
         self._stack: list[Span] = []
         self._seq = 0
+
+    # -- pickling (checkpoint/restore, DESIGN.md §5.8) ------------------
+    def __getstate__(self):
+        # The clock is a closure over the owning engine; drop it here and
+        # let the engine's __setstate__ rebind it after restore (a
+        # standalone restored tracer falls back to the zero clock).
+        state = self.__dict__.copy()
+        state["clock"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self.clock is None:
+            self.clock = _zero_clock
 
     # -- recording ------------------------------------------------------
     def enter(self, name: str, **attrs) -> Span:

@@ -25,6 +25,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["DRFScheduler"]
 
 
+def _unit_weight(job: Job) -> float:
+    """Default per-job weight (module-level so the scheduler pickles
+    for checkpointing; a lambda default would not)."""
+    return 1.0
+
+
 class DRFScheduler(Scheduler):
     name = "DRF"
 
@@ -34,7 +40,7 @@ class DRFScheduler(Scheduler):
         weight_of: Callable[[Job], float] | None = None,
         speculation: SpeculationPolicy | None = None,
     ) -> None:
-        self.weight_of = weight_of if weight_of is not None else (lambda job: 1.0)
+        self.weight_of = weight_of if weight_of is not None else _unit_weight
         self.speculation = speculation if speculation is not None else NoSpeculation()
 
     @staticmethod

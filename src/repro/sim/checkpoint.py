@@ -1,0 +1,168 @@
+"""Deterministic checkpoint/restore of a live simulation session.
+
+The persistence layer of the session API (DESIGN.md §5.8).  A
+checkpoint captures the *complete* engine state between two instants —
+event queue (including its sequence counter), cluster and its SoA
+placement mirror, scheduler (priorities, caches), all three RNG streams
+(duration, policy, churn), the fault injector, the clone-budget ledger,
+the decision trace and observability bundle — so that
+
+    restore(checkpoint(engine at t)) → drain → finalize
+
+is bit-identical to letting the original engine run uninterrupted.
+
+Determinism argument
+--------------------
+
+The engine's evolution from one instant to the next is a pure function
+of (event queue contents, mutable simulation state, RNG stream states):
+every wall-clock read is segregated into profiling fields that never
+feed back into decisions (repro-lint RL010 enforces this), and every
+decision flows through the ``apply`` choke point.  Pickling snapshots
+exactly that closure of state — aliasing included, because pickle's
+memo preserves object identity (a task copy referenced by both a server
+and the event queue revives as one object, not two).  The only
+deliberately excluded state is host-specific: the observability clock
+closure (rebound to the revived engine by ``__setstate__``) and the
+wall-time anchor of the run (``finalize`` after restore skips the
+wall_run gauge).  Pull-based arrival sources serialize their consumed
+count and re-attach the byte stream after restore; the engine pulls the
+next job at exactly the same decision point either way.
+
+Checkpoints are *internal* state snapshots built on :mod:`pickle`: load
+only files you produced (the standard pickle caveat).  The envelope
+carries a format tag and a state fingerprint so a truncated or foreign
+file fails loudly instead of reviving garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import SimulationEngine
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointInfo",
+    "checkpoint_bytes",
+    "restore_bytes",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_info",
+]
+
+#: Format tag in the envelope; bumped on any layout change.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+#: Fixed pickle protocol so checkpoints written by any supported
+#: interpreter (3.10–3.12) load on any other.
+_PROTOCOL = 4
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Summary metadata stored beside (and readable without) the state."""
+
+    format: str
+    sim_time: float
+    events_processed: int
+    jobs_total: int
+    jobs_finished: int
+    jobs_active: int
+    arrivals_consumed: int
+    scheduler: str
+    digest: str
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.format,
+            "sim_time": self.sim_time,
+            "events_processed": self.events_processed,
+            "jobs_total": self.jobs_total,
+            "jobs_finished": self.jobs_finished,
+            "jobs_active": self.jobs_active,
+            "arrivals_consumed": self.arrivals_consumed,
+            "scheduler": self.scheduler,
+            "digest": self.digest,
+        }
+
+
+def _info_for(engine: "SimulationEngine", digest: str) -> CheckpointInfo:
+    return CheckpointInfo(
+        format=CHECKPOINT_FORMAT,
+        sim_time=engine.now,
+        events_processed=engine.events_processed,
+        jobs_total=len(engine.jobs),
+        jobs_finished=len(engine.finished_jobs),
+        jobs_active=len(engine.active_jobs),
+        arrivals_consumed=engine.arrivals.consumed,
+        scheduler=engine.scheduler.name,
+        digest=digest,
+    )
+
+
+def checkpoint_bytes(engine: "SimulationEngine") -> tuple[bytes, CheckpointInfo]:
+    """Serialize a session to bytes; returns ``(payload, info)``.
+
+    The engine must be between instants (not inside ``step()``) — every
+    public session increment leaves it there.
+    """
+    state = pickle.dumps(engine, protocol=_PROTOCOL)
+    digest = hashlib.sha256(state).hexdigest()
+    info = _info_for(engine, digest)
+    buf = io.BytesIO()
+    pickle.dump(
+        {"format": CHECKPOINT_FORMAT, "info": info.to_dict(), "state": state},
+        buf,
+        protocol=_PROTOCOL,
+    )
+    return buf.getvalue(), info
+
+
+def restore_bytes(payload: bytes) -> "SimulationEngine":
+    """Revive a session from :func:`checkpoint_bytes` output."""
+    envelope = pickle.loads(payload)
+    if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"not a {CHECKPOINT_FORMAT} checkpoint "
+            f"(format={envelope.get('format') if isinstance(envelope, dict) else None!r})"
+        )
+    state = envelope["state"]
+    digest = hashlib.sha256(state).hexdigest()
+    if digest != envelope["info"]["digest"]:
+        raise ValueError("checkpoint state digest mismatch (truncated or corrupted)")
+    return pickle.loads(state)
+
+
+def save_checkpoint(engine: "SimulationEngine", path: str | Path) -> CheckpointInfo:
+    """Write a checkpoint file atomically (tmp + rename); returns info.
+
+    The rename makes a crash mid-write leave either the previous
+    checkpoint or the new one, never a torn file — the service loop
+    overwrites one path periodically and relies on this.
+    """
+    payload, info = checkpoint_bytes(engine)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    tmp.replace(path)
+    return info
+
+
+def load_checkpoint(path: str | Path) -> "SimulationEngine":
+    """Revive a session from a checkpoint file."""
+    return restore_bytes(Path(path).read_bytes())
+
+
+def checkpoint_info(path: str | Path) -> CheckpointInfo:
+    """Read only the metadata summary of a checkpoint file."""
+    envelope = pickle.loads(Path(path).read_bytes())
+    if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"not a {CHECKPOINT_FORMAT} checkpoint")
+    return CheckpointInfo(**envelope["info"])

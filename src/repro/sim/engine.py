@@ -32,6 +32,25 @@ atomically, and (when recording) journals it as a
 :class:`~repro.sim.actions.Decision` in a bounded
 :class:`~repro.sim.actions.DecisionTrace`.  A recorded trace replays
 bit-identically via :mod:`repro.sim.replay`.
+
+**Session API** (DESIGN.md §5.8): the engine is a resumable session,
+not a one-shot loop.  :meth:`SimulationEngine.start` primes arrivals /
+fault chains / the slot grid, :meth:`~SimulationEngine.step` processes
+exactly one simulated instant (one coalesced batch drain plus its
+closing schedule pass), :meth:`~SimulationEngine.run_until` steps
+through every instant up to a time bound, :meth:`~SimulationEngine.drain`
+steps until no runnable event remains, and
+:meth:`~SimulationEngine.finalize` builds the
+:class:`~repro.sim.metrics.SimulationResult`.  The legacy
+:meth:`~SimulationEngine.run` is a thin ``start → drain → finalize``
+wrapper and reproduces the pre-session batched-drain order
+byte-identically.  Jobs enter either up front (a list, today's
+behaviour), through a pull-based
+:class:`~repro.workload.arrivals.ArrivalSource`, or injected mid-run
+via :meth:`~SimulationEngine.ingest` — the service layer
+(:mod:`repro.service`) builds on exactly these increments, and
+:mod:`repro.sim.checkpoint` can persist/restore the whole session
+between any two instants.
 """
 
 from __future__ import annotations
@@ -62,6 +81,7 @@ from repro.sim.actions import (
 )
 from repro.sim.events import BASE_EVENT_KINDS, EventKind, EventQueue
 from repro.sim.metrics import SimulationResult, build_result
+from repro.workload.arrivals import ArrivalSource, StaticSource
 from repro.workload.job import Job
 from repro.workload.task import Task, TaskCopy, TaskState
 
@@ -136,7 +156,7 @@ class SimulationEngine:
         self,
         cluster: Cluster,
         scheduler: "Scheduler",
-        jobs: Iterable[Job],
+        jobs: Iterable[Job] | ArrivalSource,
         *,
         seed: int = 0,
         schedule_interval: float = 0.0,
@@ -154,9 +174,16 @@ class SimulationEngine:
             raise ValueError("schedule_interval must be non-negative")
         self.cluster = cluster
         self.scheduler = scheduler
-        self.jobs: list[Job] = sorted(jobs, key=lambda j: j.arrival_time)
-        if not self.jobs:
-            raise ValueError("need at least one job")
+        # The workload enters through an ArrivalSource (DESIGN.md §5.8).
+        # A plain job list — today's callers, and an *empty* list for a
+        # session that starts idle — wraps into the eager StaticSource,
+        # which start() primes exactly like the pre-session engine did.
+        if isinstance(jobs, ArrivalSource):
+            self.arrivals: ArrivalSource = jobs
+            self.jobs = sorted(jobs.initial_jobs(), key=lambda j: j.arrival_time)
+        else:
+            self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+            self.arrivals = StaticSource(self.jobs)
         self.schedule_interval = float(schedule_interval)
         self.max_time = float(max_time)
         self.max_copies_per_task = max_copies_per_task
@@ -189,6 +216,22 @@ class SimulationEngine:
         self.copies_lost = 0
         self.recoveries_masked_by_clone = 0
         self.tasks_requeued = 0
+
+        # Session state (DESIGN.md §5.8).  `_started` latches after
+        # start() primes the queues; `_halted` latches when, with faults
+        # attached, the workload drains and only the fault tail remains
+        # (the legacy loop's `stop` flag) — ingest() clears it, since a
+        # new arrival revives the workload.  `expect_arrivals` is the
+        # service layer's promise that more jobs will be injected even
+        # while none are active or queued: it keeps `workload_active()`
+        # true so fault renewal chains extend across idle gaps exactly
+        # as they would had the whole stream been known up front.
+        self._started = False
+        self._priming = False
+        self._halted = False
+        self.expect_arrivals = False
+        self._job_ids = {j.job_id for j in self.jobs}
+        self._run_t0: float | None = None
 
         # Decision journal (DESIGN.md §5.3).  `_decision_point` numbers
         # scheduler entry points; `_decision_cause` names the event kind
@@ -267,19 +310,25 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def _validate_feasible(self) -> None:
         """Reject workloads containing tasks no server could ever host."""
-        max_cap = Resources(
+        self._max_cap = Resources(
             max(s.capacity.cpu for s in self.cluster),
             max(s.capacity.mem for s in self.cluster),
         )
         for job in self.jobs:
-            for phase in job.phases:
-                if not phase.demand.fits_in(max_cap):
-                    raise ValueError(
-                        f"job {job.job_id} phase {phase.index}: demand "
-                        f"{phase.demand} exceeds every server (max {max_cap})"
-                    )
-            if job.arrival_time < 0:
-                raise ValueError(f"job {job.job_id}: negative arrival time")
+            self._validate_job(job)
+
+    def _validate_job(self, job: Job) -> None:
+        """Feasibility gate for one job — applied to the construction
+        workload and to every job entering later through ingest()."""
+        max_cap = self._max_cap
+        for phase in job.phases:
+            if not phase.demand.fits_in(max_cap):
+                raise ValueError(
+                    f"job {job.job_id} phase {phase.index}: demand "
+                    f"{phase.demand} exceeds every server (max {max_cap})"
+                )
+        if job.arrival_time < 0:
+            raise ValueError(f"job {job.job_id}: negative arrival time")
 
     # ------------------------------------------------------------------
     # The action choke point
@@ -659,6 +708,13 @@ class SimulationEngine:
     def _process_arrival(self, job: Job) -> None:
         self._pending_arrivals -= 1
         self.active_jobs[job.job_id] = job
+        # Pull-based sources stay one arrival ahead: consuming this
+        # arrival fetches the next job from the stream.  Arrival events
+        # tie-break on kind before seq, and same-kind pushes keep stream
+        # order, so the pull schedule never reorders processing relative
+        # to an eager all-upfront push of the same jobs.
+        if not self.arrivals.eager and not self.arrivals.exhausted:
+            self._pull_arrival()
         ins = self._ins
         if ins is not None:
             ins.active_jobs.set(len(self.active_jobs))
@@ -714,8 +770,20 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def workload_active(self) -> bool:
         """Whether unfinished jobs exist or are still to arrive — the
-        predicate gating fault-chain extension and the drain break."""
-        return bool(self.active_jobs) or self._pending_arrivals > 0
+        predicate gating fault-chain extension and the drain break.
+
+        A streamed session counts an unexhausted arrival source (or an
+        explicit ``expect_arrivals`` pledge from a service runner) as
+        pending work: a one-shot run that knew the whole stream up front
+        would still have those arrivals queued here, so the fault renewal
+        chain must stay alive across stream gaps to keep the churn RNG
+        draw sequence identical."""
+        return (
+            bool(self.active_jobs)
+            or self._pending_arrivals > 0
+            or not self.arrivals.exhausted
+            or self.expect_arrivals
+        )
 
     def _process_fault_event(self, ev) -> bool:
         """Dispatch one injector-scheduled event; returns whether the
@@ -839,28 +907,212 @@ class SimulationEngine:
             ins.wall_schedule_pass.observe(dt)
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Session API (DESIGN.md §5.8)
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        for job in self.jobs:
-            self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
+    def start(self) -> "SimulationEngine":
+        """Prime the session: queue the known arrivals, start the fault
+        processes, and lay down the slot grid.  Idempotent; every other
+        session increment (step/run_until/drain/ingest) calls it first,
+        so explicit use is only needed to pin the priming time.
+
+        The push order — arrivals (workload order), fault priming, the
+        first slot tick — is the exact order the pre-session ``run()``
+        used, so event sequence numbers (and therefore same-instant
+        tie-breaks) are preserved bit-for-bit."""
+        if self._started:
+            return self
+        self._started = True
+        self._run_t0 = _wallclock.perf_counter()
+        first_arrival: float | None = None
+        if self.arrivals.eager:
+            for job in self.jobs:
+                self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
+            if self.jobs:
+                first_arrival = self.jobs[0].arrival_time
+        else:
+            job = self._pull_arrival()
+            if job is not None:
+                first_arrival = job.arrival_time
         if self.faults is not None:
             self.faults.prime()
-        slotted = self.schedule_interval > 0
-        if slotted:
-            first = self.jobs[0].arrival_time
-            aligned = math.floor(first / self.schedule_interval) * self.schedule_interval
+        if self.schedule_interval > 0 and first_arrival is not None:
+            aligned = (
+                math.floor(first_arrival / self.schedule_interval)
+                * self.schedule_interval
+            )
             self.events.push(max(aligned, 0.0), EventKind.SCHEDULE_TICK)
+        return self
 
-        obs = self.observability
-        tracer = obs.tracer if obs is not None else None
-        prof = obs.profiler if obs is not None else None
-        ev_child = self._ev_child
-        span_name = self._ev_span_name
+    def _pull_arrival(self) -> Job | None:
+        """Fetch the next job from a pull-based arrival source.
+
+        Engine-internal pulls happen while the tick chain is alive —
+        at ``start()`` (the aligned initial tick is laid right after)
+        or mid-instant inside arrival processing (where the current
+        tick sits in the popped batch, invisible to ``has_kind``) — so
+        ``_priming`` suppresses ingest()'s dead-chain tick re-arm,
+        which is only for *external* ingests into an idle session.
+        """
+        self._priming = True
+        try:
+            job = self.arrivals.take()
+            if job is not None:
+                self.ingest(job)
+        finally:
+            self._priming = False
+        return job
+
+    def ingest(self, job: Job) -> Job:
+        """Inject one job into a live session.
+
+        The online-arrival mutation channel: validates the job exactly
+        like a construction-time workload (feasibility, non-negative
+        arrival), requires its arrival not to precede the session clock,
+        and queues the arrival event.  Starts the session if needed, and
+        clears a fault-tail halt — a new arrival revives the workload.
+        Jobs must be ingested in non-decreasing arrival order to match a
+        run that knew the whole stream up front (the arrival sources
+        enforce this; direct callers own it)."""
+        if not self._started:
+            self.start()
+        self._validate_job(job)
+        if job.arrival_time < self.now:
+            raise ValueError(
+                f"job {job.job_id}: arrival {job.arrival_time:g} precedes "
+                f"the session clock t={self.now:g}"
+            )
+        if job.job_id in self._job_ids:
+            raise ValueError(f"job {job.job_id}: duplicate job id in this session")
+        self.jobs.append(job)
+        self._job_ids.add(job.job_id)
+        self._pending_arrivals += 1
+        self._halted = False
+        self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
+        # A slotted session whose tick chain died while idle must re-arm
+        # it at exactly the slot the uninterrupted chain would have hit:
+        # _next_tick_time() jumps over the idle gap to the slot holding
+        # the next event, which is this arrival.
+        if (
+            self.schedule_interval > 0
+            and not self._priming
+            and not self.events.has_kind(EventKind.SCHEDULE_TICK)
+        ):
+            nxt = self._next_tick_time()
+            if nxt is not None:
+                self.events.push(nxt, EventKind.SCHEDULE_TICK)
+        return job
+
+    def step(self) -> bool:
+        """Process the next simulated instant; returns False when no
+        runnable event remains.
+
+        One instant = every queued event sharing the earliest timestamp
+        (plus same-instant pushes), processed in the exact (time, kind,
+        seq) order of the batched drain, closed by at most one schedule
+        pass — precisely one iteration of the legacy ``run()`` loop.
+        Raises the max_time/starvation guard like the legacy loop; with
+        faults attached, refuses (returns False) once only the fault
+        tail remains."""
+        if not self._started:
+            self.start()
+        if self._halted:
+            return False
         events = self.events
-        sanitizer = self.sanitizer
-        run_t0 = _wallclock.perf_counter()
+        if not events:
+            return False
+        if self.faults is not None and not self.workload_active():
+            # Only fault events remain once the workload drains.
+            self._halted = True
+            return False
+        batch = events.pop_batch()
+        t = batch[0].time
+        if t > self.max_time:
+            raise RuntimeError(
+                f"simulation exceeded max_time={self.max_time:g} "
+                f"(possible starvation under {self.scheduler.name})"
+            )
+        self._account_until(t)
+        self.now = t
+        self._process_instant(t, batch)
+        return True
 
+    def run_until(self, t: float, *, inclusive: bool = True) -> float:
+        """Step through every instant up to ``t`` and return the clock.
+
+        Processes instants while the next pending event is ≤ ``t``
+        (< ``t`` with ``inclusive=False`` — the streaming runner uses
+        the exclusive bound so equal-time arrivals land in one instant).
+        The clock never advances past the last processed event, so a
+        bound beyond the horizon leaves the session exactly where
+        ``drain()`` would.  The max_time/starvation guards apply to each
+        step, so a stuck slotted session raises instead of spinning."""
+        if not self._started:
+            self.start()
+        while not self._halted:
+            nt = self.events.peek_time()
+            if nt is None or (nt > t if inclusive else nt >= t):
+                break
+            if not self.step():
+                break
+        return self.now
+
+    def drain(self) -> int:
+        """Step until no runnable event remains; returns instants run."""
+        instants = 0
+        while self.step():
+            instants += 1
+        return instants
+
+    def finalize(self) -> SimulationResult:
+        """Close the session and build its result.
+
+        Mirrors the legacy end-of-run epilogue: flushes the sim-time /
+        wall-run gauges, rejects a drained queue that left jobs
+        unfinished (deadlock guard), and snapshots the result."""
+        ins = self._ins
+        if ins is not None:
+            ins.sim_time.set(self.now)
+            if self._run_t0 is not None:
+                ins.wall_run.set(_wallclock.perf_counter() - self._run_t0)
+        if self.active_jobs:
+            raise RuntimeError(
+                f"event queue drained with {len(self.active_jobs)} jobs unfinished"
+            )
+        return build_result(self)
+
+    def partial_result(self) -> SimulationResult:
+        """Result over the jobs finished *so far* — the live-metrics
+        variant of finalize(): no completeness check, no gauge flush,
+        valid between any two instants of a running session."""
+        return build_result(self)
+
+    def run(self) -> SimulationResult:
+        """Legacy one-shot entry point: start → drain → finalize."""
+        self.start()
+        self.drain()
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint/restore, DESIGN.md §5.8)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Wall-clock anchor is meaningless across processes; finalize()
+        # after a restore simply skips the wall_run gauge.
+        state["_run_t0"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        # The observability clock is a closure over this engine (dropped
+        # by SpanTracer.__getstate__); rebind it to the revived instance.
+        if self.observability is not None:
+            self.observability.bind_clock(lambda: self.now)
+
+    # ------------------------------------------------------------------
+    # One instant of the batched drain
+    # ------------------------------------------------------------------
+    def _process_instant(self, t: float, batch) -> None:
         # Batched drain (DESIGN.md §5.6): every event sharing the
         # earliest timestamp is popped in one heap sweep and processed
         # from a local list, preserving the exact (time, kind, seq)
@@ -871,96 +1123,81 @@ class SimulationEngine:
         # are always larger); (b) a re-drain once the local list runs
         # out.  One schedule pass still closes each instant, exactly as
         # before; batching never reorders or merges decision points.
-        stop = False
-        while events and not stop:
-            if self.faults is not None and not self.workload_active():
-                break  # only fault events remain once the workload drains
-            batch = events.pop_batch()
-            t = batch[0].time
-            if t > self.max_time:
-                raise RuntimeError(
-                    f"simulation exceeded max_time={self.max_time:g} "
-                    f"(possible starvation under {self.scheduler.name})"
-                )
-            self._account_until(t)
-            self.now = t
+        obs = self.observability
+        tracer = obs.tracer if obs is not None else None
+        prof = obs.profiler if obs is not None else None
+        ev_child = self._ev_child
+        span_name = self._ev_span_name
+        events = self.events
+        sanitizer = self.sanitizer
+        slotted = self.schedule_interval > 0
 
-            idx = 0
-            n = len(batch)
-            while True:
-                # -- select the next event in exact pop order ----------
-                if idx < n:
-                    ev = batch[idx]
-                    hk = events.peek_key()
-                    if hk is not None and hk[0] == t and (hk[1], hk[2]) < (ev.kind, ev.seq):
-                        ev = events.pop()  # zero-delay push sorted earlier
-                    else:
-                        idx += 1
-                elif events.peek_time() == t:
-                    batch = events.pop_batch()  # pushed while processing
-                    n = len(batch)
-                    ev = batch[0]
-                    idx = 1
+        idx = 0
+        n = len(batch)
+        while True:
+            # -- select the next event in exact pop order ----------
+            if idx < n:
+                ev = batch[idx]
+                hk = events.peek_key()
+                if hk is not None and hk[0] == t and (hk[1], hk[2]) < (ev.kind, ev.seq):
+                    ev = events.pop()  # zero-delay push sorted earlier
                 else:
-                    break
-                if self.faults is not None and not self.workload_active():
-                    stop = True  # drop the fault tail mid-instant too
-                    break
+                    idx += 1
+            elif events.peek_time() == t:
+                batch = events.pop_batch()  # pushed while processing
+                n = len(batch)
+                ev = batch[0]
+                idx = 1
+            else:
+                break
+            if self.faults is not None and not self.workload_active():
+                self._halted = True  # drop the fault tail mid-instant too
+                break
 
-                self.events_processed += 1
-                kind = ev.kind
-                if ev_child is not None:
-                    ev_child[kind].inc()
-                span = tracer.enter(span_name[kind]) if tracer is not None else None
-                frame = prof.enter("engine") if prof is not None else None
-                try:
-                    if kind is EventKind.JOB_ARRIVAL:
-                        self._process_arrival(ev.payload)
-                        dirty = True
-                    elif kind is EventKind.COPY_FINISH:
-                        self._process_copy_finish(ev.payload)
-                        dirty = True
-                    elif kind is not EventKind.SCHEDULE_TICK:
-                        dirty = self._process_fault_event(ev)
-                    else:  # SCHEDULE_TICK
-                        dirty = False
-                        self._run_schedule_pass()
-                        # Slotted mode sustains the tick chain; event-driven
-                        # mode only sees one-shot wakeups (delayed-phase
-                        # arming).  `idx < n` counts locally-held events the
-                        # per-event loop would still see queued.
-                        if slotted and (self.active_jobs or idx < n or events):
-                            nxt = self._next_tick_time()
-                            if nxt is not None:
-                                events.push(nxt, EventKind.SCHEDULE_TICK)
+            self.events_processed += 1
+            kind = ev.kind
+            if ev_child is not None:
+                ev_child[kind].inc()
+            span = tracer.enter(span_name[kind]) if tracer is not None else None
+            frame = prof.enter("engine") if prof is not None else None
+            try:
+                if kind is EventKind.JOB_ARRIVAL:
+                    self._process_arrival(ev.payload)
+                    dirty = True
+                elif kind is EventKind.COPY_FINISH:
+                    self._process_copy_finish(ev.payload)
+                    dirty = True
+                elif kind is not EventKind.SCHEDULE_TICK:
+                    dirty = self._process_fault_event(ev)
+                else:  # SCHEDULE_TICK
+                    dirty = False
+                    self._run_schedule_pass()
+                    # Slotted mode sustains the tick chain; event-driven
+                    # mode only sees one-shot wakeups (delayed-phase
+                    # arming).  `idx < n` counts locally-held events the
+                    # per-event loop would still see queued.
+                    if slotted and (self.active_jobs or idx < n or events):
+                        nxt = self._next_tick_time()
+                        if nxt is not None:
+                            events.push(nxt, EventKind.SCHEDULE_TICK)
 
-                    if not slotted and dirty and idx >= n and events.peek_time() != t:
-                        # Last state change of this instant: one pass.
-                        self._run_schedule_pass()
-                finally:
-                    if frame is not None:
-                        prof.exit(frame)
-                    if span is not None:
-                        tracer.exit(span)
+                if not slotted and dirty and idx >= n and events.peek_time() != t:
+                    # Last state change of this instant: one pass.
+                    self._run_schedule_pass()
+            finally:
+                if frame is not None:
+                    prof.exit(frame)
+                if span is not None:
+                    tracer.exit(span)
 
-                if sanitizer is not None:
-                    sanitizer.after_event(f"{kind.name} @ t={t:g}")
-                if idx >= n:
-                    # Mid-batch the locally-held events are still pending
-                    # work, so starvation can only be judged at the end of
-                    # the instant (the per-event loop agrees: it never
-                    # fired with same-time events still queued).
-                    self._check_progress()
-
-        ins = self._ins
-        if ins is not None:
-            ins.sim_time.set(self.now)
-            ins.wall_run.set(_wallclock.perf_counter() - run_t0)
-        if self.active_jobs:
-            raise RuntimeError(
-                f"event queue drained with {len(self.active_jobs)} jobs unfinished"
-            )
-        return build_result(self)
+            if sanitizer is not None:
+                sanitizer.after_event(f"{kind.name} @ t={t:g}")
+            if idx >= n:
+                # Mid-batch the locally-held events are still pending
+                # work, so starvation can only be judged at the end of
+                # the instant (the per-event loop agrees: it never
+                # fired with same-time events still queued).
+                self._check_progress()
 
     def _next_tick_time(self) -> Optional[float]:
         """Next slot boundary; jumps over idle gaps to the slot containing

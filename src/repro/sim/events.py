@@ -133,6 +133,16 @@ class EventQueue:
         """The (time, kind, seq) ordering key of the head event."""
         return self._heap[0][:3] if self._heap else None
 
+    def has_kind(self, kind: EventKind) -> bool:
+        """Whether any pending event has the given kind.
+
+        Part of the drain API so callers need not touch ``_heap``
+        (RL008); the engine uses it to decide whether a slotted
+        session's tick chain is still armed before re-arming it on an
+        online ingest.
+        """
+        return any(entry[1] == kind for entry in self._heap)
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -9,7 +9,7 @@ makespan, clone counts/fractions (Fig. 10b) and scheduling overhead
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -75,6 +75,9 @@ class SimulationResult:
     copies_lost: int = 0
     recoveries_masked_by_clone: int = 0
     tasks_requeued: int = 0
+    # Events processed by the engine (DESIGN.md §5.8) — part of the
+    # bit-identity surface for session vs one-shot comparisons.
+    events_processed: int = 0
 
     # ------------------------------------------------------------------
     # Vector accessors (sorted by job id so runs are comparable job-wise)
@@ -103,15 +106,23 @@ class SimulationResult:
 
     @property
     def mean_flowtime(self) -> float:
+        # Empty workloads (idle service sessions) aggregate to 0.0
+        # rather than a numpy nan/warning.
+        if not self.records:
+            return 0.0
         return float(self.flowtimes().mean())
 
     @property
     def mean_running_time(self) -> float:
+        if not self.records:
+            return 0.0
         return float(self.running_times().mean())
 
     @property
     def makespan(self) -> float:
         """Longest completion: max f_j − min a_j (Fig. 8 reports this)."""
+        if not self.records:
+            return 0.0
         finish = max(r.finish_time for r in self.records)
         arrive = min(r.arrival_time for r in self.records)
         return finish - arrive
@@ -138,6 +149,13 @@ class SimulationResult:
         if not self.schedule_pass_seconds:
             return 0.0
         return 1e3 * float(np.max(self.schedule_pass_seconds))
+
+    def deterministic(self) -> "SimulationResult":
+        """Copy with host wall-clock fields cleared — the bit-identity
+        comparison surface for session-vs-one-shot and checkpoint
+        restore checks (``schedule_pass_seconds`` is perf_counter noise
+        that legitimately differs between two runs of the same seed)."""
+        return replace(self, schedule_pass_seconds=())
 
     def cumulative_flowtime_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(arrival-ordered job index, cumulative flowtime) — the series
@@ -224,4 +242,5 @@ def build_result(engine: "SimulationEngine") -> SimulationResult:
         copies_lost=engine.copies_lost,
         recoveries_masked_by_clone=engine.recoveries_masked_by_clone,
         tasks_requeued=engine.tasks_requeued,
+        events_processed=engine.events_processed,
     )

@@ -248,6 +248,7 @@ def assert_replay_identical(
         "clones_launched",
         "copies_launched",
         "simulated_time",
+        "events_processed",
         "faults_injected",
         "copies_lost",
         "recoveries_masked_by_clone",

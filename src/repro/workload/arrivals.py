@@ -1,19 +1,47 @@
-"""Job arrival processes.
+"""Job arrival processes and arrival *sources*.
 
 The analytical model treats (a_1, …, a_N) as an arbitrary sequence
 (Sec. 3); the experiments use roughly fixed inter-arrival gaps (≈200 s
 lightly loaded, ≈20 s heavily loaded, Sec. 6.2) which in practice jitter
-around the target.  These helpers produce arrival-time lists consumed by
-the simulation runner.
+around the target.  The helper functions below produce arrival-time
+lists consumed by the simulation runner.
+
+The second half of this module is the workload layer of the session API
+(DESIGN.md §5.8): an :class:`ArrivalSource` feeds jobs to a
+:class:`~repro.sim.engine.SimulationEngine` either eagerly (the whole
+workload queued at start, today's behavior — :class:`StaticSource`) or
+pulled one at a time as the simulation advances (:class:`GeneratorSource`
+over any job iterator, :class:`JsonlSource` over a job-spec line stream).
+Pull-based sources must yield non-decreasing arrival times; the engine
+rejects out-of-order ingests, because a job arriving "in the past" could
+not be replayed by a run that knew the stream up front.
+
+Byte-identity note: an engine fed by a pull source pulls the next job
+*while processing the previous arrival event*, so a JOB_ARRIVAL for job
+k+1 is pushed before any event of job k's placement.  The event queue
+orders by (time, kind, seq) and same-kind pushes preserve stream order,
+so the processing order — and therefore every RNG draw and decision
+point — matches the eager run exactly.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["fixed_interarrival", "poisson_arrivals", "arrivals_from_list"]
+from repro.workload.job import Job
+
+__all__ = [
+    "fixed_interarrival",
+    "poisson_arrivals",
+    "arrivals_from_list",
+    "ArrivalSource",
+    "StaticSource",
+    "GeneratorSource",
+    "JsonlSource",
+]
 
 
 def fixed_interarrival(
@@ -67,3 +95,217 @@ def arrivals_from_list(times: Sequence[float]) -> list[float]:
     if any(b < a for a, b in zip(out, out[1:])):
         raise ValueError("arrival times must be non-decreasing")
     return out
+
+
+# ----------------------------------------------------------------------
+# Arrival sources (session workload layer, DESIGN.md §5.8)
+# ----------------------------------------------------------------------
+class ArrivalSource:
+    """Where a session's jobs come from.
+
+    ``eager`` sources hand the engine the complete workload at
+    ``start()`` via :meth:`initial_jobs`; pull sources are drained one
+    job at a time through :meth:`take` (the engine pulls job *k+1* while
+    processing job *k*'s arrival, and once more at start).  ``exhausted``
+    must flip to True only when :meth:`take` can never return another
+    job — it keeps the engine's ``workload_active()`` predicate (and
+    with it the fault renewal chain) alive while the stream is open.
+    ``consumed`` counts jobs already emitted; checkpoint restore uses it
+    to fast-forward a re-attached stream.
+    """
+
+    eager: bool = False
+
+    def initial_jobs(self) -> list[Job]:
+        """Jobs known before the session starts (eager sources only)."""
+        return []
+
+    def take(self) -> Job | None:
+        """Next job, or None once the stream has permanently ended.
+
+        Implementations must *block* until a job or end-of-stream: a
+        transient None would let the engine process later-timestamped
+        events before an arrival it has not seen yet, breaking the
+        equivalence with a run that knew the stream up front.  (The
+        service layer's stdin feed converts SIGTERM into end-of-stream
+        so a blocked take unblocks on shutdown.)
+        """
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no further job can ever be taken."""
+        return True
+
+    @property
+    def consumed(self) -> int:
+        """Jobs emitted via :meth:`take` so far."""
+        return 0
+
+
+class StaticSource(ArrivalSource):
+    """Today's behavior: a fixed job list, fully queued at start."""
+
+    eager = True
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+
+    def initial_jobs(self) -> list[Job]:
+        return list(self.jobs)
+
+
+class GeneratorSource(ArrivalSource):
+    """Pull source over any job iterator (generator, list iterator, …).
+
+    Enforces the non-decreasing-arrival contract at the source boundary
+    so a violation names the offending job before the engine sees it.
+    Not checkpointable — a live generator's continuation can't be
+    serialized; use :class:`JsonlSource` or :class:`StaticSource` when
+    sessions must survive a restore.
+    """
+
+    eager = False
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        self._it: Iterator[Job] = iter(jobs)
+        self._exhausted = False
+        self._consumed = 0
+        self._last_arrival = float("-inf")
+
+    def take(self) -> Job | None:
+        if self._exhausted:
+            return None
+        try:
+            job = next(self._it)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        if job.arrival_time < self._last_arrival:
+            raise ValueError(
+                f"job {job.job_id}: arrival {job.arrival_time:g} out of order "
+                f"(previous arrival {self._last_arrival:g})"
+            )
+        self._last_arrival = job.arrival_time
+        self._consumed += 1
+        return job
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed
+
+    def __getstate__(self):
+        raise TypeError(
+            "GeneratorSource is not checkpointable (live iterator); "
+            "use JsonlSource or StaticSource for resumable sessions"
+        )
+
+
+class JsonlSource(ArrivalSource):
+    """Pull source over a JSONL stream of job-spec lines.
+
+    Each non-blank line is one JSON object in the `repro-trace-v1` job
+    schema (see ``workload/google_trace.py``: name, arrival_time,
+    phases[]; optional job_id).  Lines lacking an explicit ``job_id``
+    get a deterministic sequential id (the stream ordinal), so a
+    restored session re-reading the same stream materializes identical
+    jobs — the process-global job counter is not stable across legs.
+
+    Checkpointable by detaching: pickling keeps only the consumed count
+    and ordering watermark; the revived source reports ``exhausted`` =
+    False but refuses :meth:`take` until :meth:`attach` re-binds a line
+    iterator (``skip_consumed=True`` fast-forwards a stream restarted
+    from the beginning; pass False when the stream itself resumes
+    mid-way, e.g. a still-open socket).
+    """
+
+    eager = False
+
+    def __init__(
+        self,
+        lines: Iterable[str] | None = None,
+        *,
+        decoder: Callable[[dict], Job] | None = None,
+    ) -> None:
+        self._lines: Iterator[str] | None = iter(lines) if lines is not None else None
+        self._decoder = decoder
+        self._exhausted = False
+        self._consumed = 0
+        self._last_arrival = float("-inf")
+
+    def _decode(self, line: str) -> Job:
+        obj = json.loads(line)
+        if self._decoder is not None:
+            return self._decoder(obj)
+        from repro.workload.google_trace import job_from_spec, spec_from_dict
+
+        spec = spec_from_dict(obj)
+        if spec.job_id is None:
+            spec = type(spec)(
+                name=spec.name,
+                arrival_time=spec.arrival_time,
+                phases=spec.phases,
+                job_id=self._consumed,
+            )
+        return job_from_spec(spec)
+
+    def take(self) -> Job | None:
+        if self._exhausted:
+            return None
+        if self._lines is None:
+            raise RuntimeError(
+                "JsonlSource is detached (restored from checkpoint); "
+                "call attach(lines) before resuming the session"
+            )
+        for line in self._lines:
+            if not line.strip():
+                continue
+            job = self._decode(line)
+            if job.arrival_time < self._last_arrival:
+                raise ValueError(
+                    f"job {job.job_id}: arrival {job.arrival_time:g} out of order "
+                    f"(previous arrival {self._last_arrival:g})"
+                )
+            self._last_arrival = job.arrival_time
+            self._consumed += 1
+            return job
+        self._exhausted = True
+        return None
+
+    def attach(self, lines: Iterable[str], *, skip_consumed: bool = True) -> None:
+        """Re-bind a line iterator after a checkpoint restore."""
+        it = iter(lines)
+        if skip_consumed:
+            seen = 0
+            while seen < self._consumed:
+                line = next(it, None)
+                if line is None:
+                    raise ValueError(
+                        f"stream ended after {seen} jobs while fast-forwarding "
+                        f"past {self._consumed} already-consumed jobs"
+                    )
+                if line.strip():
+                    seen += 1
+        self._lines = it
+        self._exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed
+
+    def __getstate__(self):
+        return {
+            "_lines": None,
+            "_decoder": None,
+            "_exhausted": self._exhausted,
+            "_consumed": self._consumed,
+            "_last_arrival": self._last_arrival,
+        }

@@ -35,8 +35,11 @@ __all__ = [
     "TraceJobSpec",
     "GoogleTraceGenerator",
     "jobs_from_specs",
+    "job_from_spec",
     "save_trace",
     "load_trace",
+    "spec_to_dict",
+    "spec_from_dict",
 ]
 
 
@@ -62,11 +65,17 @@ class PhaseSpec:
 
 @dataclass(frozen=True)
 class TraceJobSpec:
-    """Serializable description of one job."""
+    """Serializable description of one job.
+
+    ``job_id`` is optional for compatibility with pre-existing trace
+    files; when present it pins the materialized Job's identity, which
+    streamed/restarted sessions need (the process-local fallback counter
+    is not stable across restore legs)."""
 
     name: str
     arrival_time: float
     phases: tuple[PhaseSpec, ...] = field(default_factory=tuple)
+    job_id: int | None = None
 
     def num_tasks(self) -> int:
         return sum(p.num_tasks for p in self.phases)
@@ -229,8 +238,21 @@ def jobs_from_specs(specs: Sequence[TraceJobSpec]) -> list[Job]:
                     name=f"{spec.name}-p{k}",
                 )
             )
-        jobs.append(Job(phases, arrival_time=spec.arrival_time, name=spec.name))
+        jobs.append(
+            Job(
+                phases,
+                arrival_time=spec.arrival_time,
+                name=spec.name,
+                job_id=spec.job_id,
+            )
+        )
     return jobs
+
+
+def job_from_spec(spec: TraceJobSpec) -> Job:
+    """Materialize a single spec (streaming-source counterpart of
+    :func:`jobs_from_specs`)."""
+    return jobs_from_specs([spec])[0]
 
 
 # ----------------------------------------------------------------------
@@ -240,31 +262,43 @@ def jobs_from_specs(specs: Sequence[TraceJobSpec]) -> list[Job]:
 def save_trace(specs: Sequence[TraceJobSpec], path: str | Path) -> None:
     payload = {
         "format": "repro-trace-v1",
-        "jobs": [
-            {**asdict(s), "phases": [asdict(p) for p in s.phases]} for s in specs
-        ],
+        "jobs": [spec_to_dict(s) for s in specs],
     }
     Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def spec_to_dict(spec: TraceJobSpec) -> dict:
+    """One spec as a plain JSON-ready dict (trace files, JSONL lines)."""
+    d = {**asdict(spec), "phases": [asdict(p) for p in spec.phases]}
+    if spec.job_id is None:
+        del d["job_id"]  # keep old-schema files byte-stable
+    return d
+
+
+def spec_from_dict(j: dict) -> TraceJobSpec:
+    """Parse one job-spec dict — the shared decoder for trace-file
+    entries and JSONL stream lines."""
+    phases = tuple(
+        PhaseSpec(
+            num_tasks=p["num_tasks"],
+            cpu=p["cpu"],
+            mem=p["mem"],
+            theta=p["theta"],
+            sigma=p["sigma"],
+            parents=tuple(p["parents"]),
+        )
+        for p in j["phases"]
+    )
+    return TraceJobSpec(
+        name=j["name"],
+        arrival_time=j["arrival_time"],
+        phases=phases,
+        job_id=j.get("job_id"),
+    )
 
 
 def load_trace(path: str | Path) -> list[TraceJobSpec]:
     payload = json.loads(Path(path).read_text())
     if payload.get("format") != "repro-trace-v1":
         raise ValueError(f"unrecognized trace format in {path}")
-    specs = []
-    for j in payload["jobs"]:
-        phases = tuple(
-            PhaseSpec(
-                num_tasks=p["num_tasks"],
-                cpu=p["cpu"],
-                mem=p["mem"],
-                theta=p["theta"],
-                sigma=p["sigma"],
-                parents=tuple(p["parents"]),
-            )
-            for p in j["phases"]
-        )
-        specs.append(
-            TraceJobSpec(name=j["name"], arrival_time=j["arrival_time"], phases=phases)
-        )
-    return specs
+    return [spec_from_dict(j) for j in payload["jobs"]]

@@ -1,0 +1,14 @@
+"""RL010/RL011 true positives: tainted helpers inside session drivers."""
+
+from repro.util import stamp
+from repro.util.entropy import jitter
+
+
+class SimulationEngine:
+    def step(self):
+        cutoff = stamp()                    # line 9: wall-clock in step()
+        return cutoff
+
+    def ingest(self, job):
+        job.arrival_time = jitter()         # line 13: RNG in ingest()
+        return job

@@ -1,0 +1,23 @@
+"""Allowed idiom: session drivers fed from threaded sim state."""
+
+from repro.util.clock import threaded
+from repro.util.entropy import seeded_jitter
+
+
+class SimulationEngine:
+    def __init__(self):
+        self.now = 0.0
+        self.rng = None
+
+    def step(self):
+        self.now = threaded(self.now)
+        return True
+
+    def ingest(self, job):
+        job.arrival_time = self.now + seeded_jitter(self.rng)
+        return job
+
+    def run_until(self, t):
+        while self.now < t and self.step():
+            pass
+        return self.now

@@ -73,6 +73,10 @@ def rules_in(violations, filename):
         ("RL011", "schedulers/rng_bad.py", [9]),
         # RNG-tainted local flowing into view.apply
         ("RL011", "sim/enqueue_bad.py", [13]),
+        # wall-clock in step(), RNG in ingest(): the session drivers
+        # (DESIGN.md §5.8) are sinks like apply()
+        ("RL010", "sim/session_bad.py", [9]),
+        ("RL011", "sim/session_bad.py", [13]),
         # set-ordered return iterated + id()-derived value in schedule()
         ("RL012", "schedulers/order_bad.py", [10, 11]),
         # alias write, alias mutator call, escape into a mutating helper
@@ -91,6 +95,7 @@ def test_no_cross_rule_noise(fixture_violations):
     assert rules_in(fixture_violations, "schedulers/rng_bad.py") == {"RL011"}
     assert rules_in(fixture_violations, "schedulers/order_bad.py") == {"RL012"}
     assert rules_in(fixture_violations, "sim/enqueue_bad.py") == {"RL010", "RL011"}
+    assert rules_in(fixture_violations, "sim/session_bad.py") == {"RL010", "RL011"}
     assert rules_in(fixture_violations, "cluster/escape_bad.py") == {"RL013"}
     assert rules_in(fixture_violations, "state/shared_bad.py") == {"RL014"}
 
@@ -103,6 +108,7 @@ def test_no_cross_rule_noise(fixture_violations):
     [
         "schedulers/clean.py",  # threaded now/rng, sorted with stable key
         "sim/enqueue_good.py",  # push/apply fed from threaded sim state
+        "sim/session_good.py",  # step/ingest fed from threaded sim state
         "cluster/escape_good.py",  # read-only alias + owner API call
         "cluster/server.py",  # owner module writes are sanctioned
         "cluster/mirror.py",  # owner module writes are sanctioned
@@ -277,7 +283,7 @@ def test_golden_sarif_shape():
     run = sarif["runs"][0]
     rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
     assert {f"RL{n:03d}" for n in range(15)} <= rule_ids
-    assert len(run["results"]) == 14
+    assert len(run["results"]) == 16
     for result in run["results"]:
         assert result["partialFingerprints"]["reproLint/v1"]
         loc = result["locations"][0]["physicalLocation"]
@@ -301,12 +307,12 @@ def test_cli_baseline_roundtrip(tmp_path):
         ["--update-baseline", "--baseline", str(baseline), "src"], cwd=FIXTURE_ROOT
     )
     assert update.returncode == 0
-    assert len(json.loads(baseline.read_text())["entries"]) == 14
+    assert len(json.loads(baseline.read_text())["entries"]) == 16
     # Pinned findings no longer fail the gate ...
     rerun = _run_cli(["--baseline", str(baseline), "src"], cwd=FIXTURE_ROOT)
     assert rerun.returncode == 0, rerun.stdout + rerun.stderr
     assert rerun.stdout == ""
-    assert "14 baselined" in rerun.stderr
+    assert "16 baselined" in rerun.stderr
     # ... but --no-baseline surfaces everything again.
     bare = _run_cli(
         ["--no-baseline", "--baseline", str(baseline), "src"], cwd=FIXTURE_ROOT

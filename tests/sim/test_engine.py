@@ -263,9 +263,22 @@ class TestGuards:
         with pytest.raises(RuntimeError, match="starved"):
             engine.run()
 
-    def test_needs_jobs(self, small_cluster):
-        with pytest.raises(ValueError):
-            SimulationEngine(small_cluster, FIFOScheduler(), [])
+    def test_empty_workload_runs_clean(self, small_cluster):
+        # A service session may start idle: an empty job list must yield
+        # a clean zero-event result, not a crash (the old slotted path
+        # read jobs[0] unconditionally).
+        for interval in (0.0, 5.0):
+            engine = SimulationEngine(
+                small_cluster, FIFOScheduler(), [], schedule_interval=interval
+            )
+            result = engine.run()
+            assert result.num_jobs == 0
+            assert result.events_processed == 0
+            assert result.simulated_time == 0.0
+            assert result.makespan == 0.0
+            assert result.mean_flowtime == 0.0
+            assert result.mean_running_time == 0.0
+            assert result.summary()["jobs"] == 0.0
 
 
 class TestAccounting:

@@ -8,7 +8,7 @@
 
 set -u
 
-GATES="${*:-lint test smoke replay-smoke fault-smoke engine-smoke bench-check coverage}"
+GATES="${*:-lint test smoke replay-smoke fault-smoke engine-smoke service-smoke bench-check coverage}"
 
 for gate in $GATES; do
     start=$(date +%s)

@@ -11,6 +11,8 @@ tainted functions; the summaries are iterated to a fixpoint over the
 call graph, so taint survives any number of helper hops across module
 boundaries.  A *decision sink* is a ``schedule``/``on_*`` method of a
 ``Scheduler`` subclass, ``SimulationEngine.apply`` / ``ClusterView.apply``,
+a session driver (``SimulationEngine.step``/``ingest``/``run_until`` —
+the online-arrival and event-processing entry points, DESIGN.md §5.8),
 or an event-queue ``push``.  Flags:
 
 * a call to a tainted function anywhere inside a sink body (the
@@ -312,6 +314,16 @@ def _decision_sinks(graph: ProgramGraph) -> dict[str, str]:
         cls = graph.classes[cq]
         if cls.name in ("SimulationEngine", "ClusterView") and "apply" in cls.methods:
             sinks[cls.methods["apply"]] = f"action choke point `{cls.name}.apply`"
+        if cls.name == "SimulationEngine":
+            # The session API (DESIGN.md §5.8): every event the engine
+            # processes flows through step(), and every online arrival
+            # through ingest() — nondeterminism there skews the whole
+            # (time, kind, seq) order, same hazard as apply().
+            for mname in ("step", "ingest", "run_until"):
+                if mname in cls.methods:
+                    sinks[cls.methods[mname]] = (
+                        f"session driver `{cls.name}.{mname}`"
+                    )
     return sinks
 
 
