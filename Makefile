@@ -9,7 +9,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 # Coverage floor lives in pyproject.toml ([tool.coverage.report]).
 COV_FAIL_UNDER = $(shell sed -n 's/^fail_under *= *//p' pyproject.toml)
 
-.PHONY: check lint test smoke replay-smoke fault-smoke engine-smoke service-smoke bench-check coverage bench-trajectory
+.PHONY: check lint test smoke replay-smoke fault-smoke engine-smoke service-smoke trace-smoke bench-check coverage bench-trajectory
 
 check:
 	@MAKE="$(MAKE)" sh tools/check.sh
@@ -39,6 +39,11 @@ engine-smoke:
 service-smoke:
 	$(PYTHON) -m repro.devtools.service_smoke
 
+# Honors REPRO_TRACE_FIXTURES (CI points it at a cached directory keyed
+# on the fixture generator's source hash; warm runs skip generation).
+trace-smoke:
+	$(PYTHON) -m repro.devtools.trace_smoke
+
 bench-check:
 	$(PYTHON) -m benchmarks.check_regression
 
@@ -54,7 +59,9 @@ coverage:
 	fi
 
 # Appends one line each to benchmarks/results/trajectory.jsonl (cron job):
-# placement microbench + end-to-end engine throughput (gate config).
+# placement microbench + end-to-end engine throughput (gate config) +
+# trace-ingestion throughput (rows/sec, peak RSS).
 bench-trajectory:
 	$(PYTHON) -m benchmarks.placement_microbench --append benchmarks/results/trajectory.jsonl
 	$(PYTHON) -m benchmarks.engine_bench --append benchmarks/results/trajectory.jsonl
+	$(PYTHON) -m benchmarks.ingest_bench --append benchmarks/results/trajectory.jsonl

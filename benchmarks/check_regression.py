@@ -3,30 +3,36 @@
 Re-measures the two overhead benchmarks (priority recompute at 1K jobs /
 30K servers; one full DollyMP schedule pass on the 30-node testbed)
 plus the end-to-end engine throughput gate (the ``gate`` config of
-``benchmarks/engine_bench``) and compares against the recorded
-baselines — the overhead means in ``benchmarks/results/<figure>.txt``
-and the engine numbers in ``benchmarks/results/BENCH_engine.json``.
+``benchmarks/engine_bench``) and the trace-ingestion gate (the ``gate``
+config of ``benchmarks/ingest_bench``), comparing against the recorded
+baselines — the overhead means in ``benchmarks/results/<figure>.txt``,
+the engine numbers in ``benchmarks/results/BENCH_engine.json`` and the
+ingestion numbers in ``benchmarks/results/BENCH_ingest.json``.
 Fails (exit 1) if any measurement regressed by more than 2x — generous
 enough to ride out machine noise, tight enough to catch an accidentally
-de-vectorized hot path or a de-batched event loop.
+de-vectorized hot path, a de-batched event loop or a de-streamed
+ingestion pass.
 
 The engine check also asserts the fresh run's ``total_flowtime`` equals
-the recorded one bit-for-bit: the batched engine's contract is *faster,
-not different*, so a flowtime drift is a correctness regression even at
-blazing speed.
+the recorded one bit-for-bit, and the ingest check does the same for
+job/task yield: both subsystems' contract is *faster, not different*,
+so a drift is a correctness regression even at blazing speed.
 
 Run it as::
 
-    python -m benchmarks.check_regression
+    python -m benchmarks.check_regression                 # every gate
+    python -m benchmarks.check_regression --gate ingest   # one subsystem
 
 Regenerate the recorded baselines with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_overhead.py
     PYTHONPATH=src python -m benchmarks.engine_bench --write-baseline
+    PYTHONPATH=src python -m benchmarks.ingest_bench --write-baseline
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import re
 import sys
@@ -147,7 +153,65 @@ def check_engine_gate() -> bool:
     return failed
 
 
-def main() -> int:
+def recorded_ingest_gate() -> dict | None:
+    """The ``gate``-config record from ``BENCH_ingest.json`` (or None)."""
+    from benchmarks.ingest_bench import BASELINE_PATH
+
+    if not BASELINE_PATH.exists():
+        return None
+    runs = json.loads(BASELINE_PATH.read_text()).get("measured", {}).get("runs", [])
+    for run in runs:
+        if run.get("config") == "gate":
+            return run
+    return None
+
+
+def check_ingest_gate() -> bool:
+    """Trace-ingestion throughput + memory + yield check.  Returns True
+    on failure.  Rows/sec uses the same 2x slack as every other rate;
+    peak RSS gets the same slack (a streaming pipeline that starts
+    buffering shows up as a multiple, not a few percent); the job/task
+    yield must match the baseline exactly — ingestion of a fixed fixture
+    is deterministic by contract."""
+    recorded = recorded_ingest_gate()
+    if recorded is None:
+        print(
+            "ingest_gate: no recorded baseline — run "
+            "`python -m benchmarks.ingest_bench --write-baseline` first"
+        )
+        return False
+    from benchmarks.ingest_bench import _measure_subprocess
+
+    fresh = _measure_subprocess("gate")
+    failed = False
+    ratio = recorded["rows_per_sec"] / fresh["rows_per_sec"]
+    verdict = "OK" if ratio <= MAX_SLOWDOWN else "REGRESSION"
+    print(
+        f"ingest_gate: recorded {recorded['rows_per_sec']:.1f} rows/s, "
+        f"fresh {fresh['rows_per_sec']:.1f} rows/s ({ratio:.2f}x slower) — {verdict}"
+    )
+    if ratio > MAX_SLOWDOWN:
+        failed = True
+    rss_ratio = fresh["peak_rss_mb"] / recorded["peak_rss_mb"]
+    verdict = "OK" if rss_ratio <= MAX_SLOWDOWN else "REGRESSION"
+    print(
+        f"ingest_gate: recorded {recorded['peak_rss_mb']:.1f} MB peak RSS, "
+        f"fresh {fresh['peak_rss_mb']:.1f} MB ({rss_ratio:.2f}x) — {verdict}"
+    )
+    if rss_ratio > MAX_SLOWDOWN:
+        failed = True
+    for key in ("rows", "jobs", "tasks"):
+        if fresh[key] != recorded[key]:
+            print(
+                f"ingest_gate: {key} drifted — recorded {recorded[key]!r}, "
+                f"fresh {fresh[key]!r} — IDENTITY REGRESSION"
+            )
+            failed = True
+    return failed
+
+
+def check_overhead() -> bool:
+    """The two hot-path microbenchmarks.  Returns True on failure."""
     checks = [
         ("overhead_priorities", measure_priorities_ms),
         ("overhead_schedule_pass", measure_schedule_pass_ms),
@@ -167,7 +231,25 @@ def main() -> int:
         )
         if ratio > MAX_SLOWDOWN:
             failed = True
-    if check_engine_gate():
+    return failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--gate",
+        choices=("all", "overhead", "engine", "ingest"),
+        default="all",
+        help="which subsystem's regression gate to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    if args.gate in ("all", "overhead") and check_overhead():
+        failed = True
+    if args.gate in ("all", "engine") and check_engine_gate():
+        failed = True
+    if args.gate in ("all", "ingest") and check_ingest_gate():
         failed = True
     return 1 if failed else 0
 

@@ -1,0 +1,202 @@
+"""Trace-ingestion throughput benchmark (rows/sec, peak RSS).
+
+Materializes a deterministic Google-2011 fixture (the gzip-compressed
+worst case for the parser) and streams it end-to-end through the
+ingestion pipeline — reader, ordering, assembly, demand scaling,
+emission — reporting rows/sec, job/task yield and process peak RSS.
+
+Two configs probe the pipeline's two promises:
+
+* ``gate``  — 150K rows; the per-commit throughput gate re-measured by
+  :mod:`benchmarks.check_regression`.
+* ``ref1m`` — 1M rows; the bounded-memory reference.  Its peak RSS must
+  stay flat relative to ``gate`` (``rss_growth`` in the record): peak
+  memory is a function of trace *concurrency*, never of row count.
+
+Usage::
+
+    python -m benchmarks.ingest_bench                     # both configs
+    python -m benchmarks.ingest_bench --config gate       # one, in-process
+    python -m benchmarks.ingest_bench --append <path>     # trajectory record
+    python -m benchmarks.ingest_bench --write-baseline    # refresh BENCH_ingest.json
+
+Each config runs in a subprocess so peak-RSS numbers (``ru_maxrss`` is
+process-lifetime-monotonic) aren't polluted across configs.  Fixtures
+are reused from ``$REPRO_TRACE_FIXTURES`` when set (the CI cache dir),
+else generated into a temporary directory.  The pass/fail enforcement
+lives in :mod:`benchmarks.check_regression`; this module only measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+__all__ = ["CONFIGS", "SCHEMA", "measure_config", "main"]
+
+RESULTS = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS / "BENCH_ingest.json"
+
+#: Fixture sizes.  150K rows keeps the per-commit gate a few seconds;
+#: 1M rows is the acceptance reference for the bounded-memory claim.
+CONFIGS: dict[str, dict] = {
+    "gate": dict(rows=150_000),
+    "ref1m": dict(rows=1_000_000),
+}
+
+SCHEMA = "google2011"
+FIXTURE_SEED = 0
+
+
+def _git_head() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def measure_config(name: str) -> dict:
+    """Materialize one fixture and stream it through the full pipeline.
+
+    Imports live here (not module top) so the subprocess protocol pays
+    interpreter+import cost outside the timed region.
+    """
+    from repro.workload.ingest import materialize, normalize_stream, open_reader
+
+    rows = CONFIGS[name]["rows"]
+    fixture_dir = os.environ.get("REPRO_TRACE_FIXTURES")
+    tmp = None
+    if not fixture_dir:
+        tmp = tempfile.TemporaryDirectory()
+        fixture_dir = tmp.name
+    try:
+        path = materialize(
+            fixture_dir, rows=rows, seed=FIXTURE_SEED, schemas=(SCHEMA,)
+        )[SCHEMA]
+        t0 = time.perf_counter()
+        jobs = tasks = 0
+        for spec in normalize_stream(open_reader(path, SCHEMA)):
+            jobs += 1
+            tasks += spec.num_tasks()
+        wall = time.perf_counter() - t0
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return {
+        "config": name,
+        "schema": SCHEMA,
+        "rows": rows,
+        "wall_s": round(wall, 3),
+        "rows_per_sec": round(rows / wall, 1),
+        "jobs": jobs,
+        "tasks": tasks,
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+    }
+
+
+def _measure_subprocess(name: str) -> dict:
+    """Measure one config in a fresh interpreter."""
+    out = subprocess.run(
+        [sys.executable, "-m", "benchmarks.ingest_bench", "--config", name, "--json"],
+        capture_output=True,
+        text=True,
+        cwd=Path(__file__).resolve().parent.parent,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(f"ingest_bench subprocess ({name}) failed:\n{out.stderr}")
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def measure() -> dict:
+    """Both configs plus the RSS-boundedness ratio between them."""
+    runs = [_measure_subprocess(name) for name in CONFIGS]
+    by_config = {r["config"]: r for r in runs}
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": runs,
+        # ~6.7x the rows should cost ~1x the memory; check_regression
+        # fails the gate when this ratio creeps toward linear growth.
+        "rss_growth": round(
+            by_config["ref1m"]["peak_rss_mb"] / by_config["gate"]["peak_rss_mb"], 2
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), help="run one config in-process")
+    parser.add_argument("--json", action="store_true", help="print the record as JSON only")
+    parser.add_argument(
+        "--append", metavar="PATH", help="append a trajectory record to this JSONL file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the measurement to {BASELINE_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+
+    if args.config:
+        record = measure_config(args.config)
+        print(json.dumps(record, sort_keys=True))
+        return 0
+
+    record = measure()
+
+    if args.append:
+        by_config = {r["config"]: r for r in record["runs"]}
+        line = json.dumps(
+            {
+                "bench": "ingest",
+                "timestamp": record["timestamp"],
+                "commit": record["commit"],
+                "python": record["python"],
+                "machine": record["machine"],
+                "rows_per_sec": by_config["gate"]["rows_per_sec"],
+                "peak_rss_mb": by_config["gate"]["peak_rss_mb"],
+                "ref1m_rows_per_sec": by_config["ref1m"]["rows_per_sec"],
+                "ref1m_peak_rss_mb": by_config["ref1m"]["peak_rss_mb"],
+                "rss_growth": record["rss_growth"],
+            },
+            sort_keys=True,
+        )
+        path = Path(args.append)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        print(f"appended to {path}: {line}")
+        return 0
+
+    if args.write_baseline:
+        baseline = {}
+        if BASELINE_PATH.exists():
+            baseline = json.loads(BASELINE_PATH.read_text())
+        baseline["measured"] = record
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

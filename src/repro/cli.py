@@ -545,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
         add_faults=_add_faults,
     )
 
+    from repro.workload.ingest.cli import add_ingest_parser
+
+    add_ingest_parser(sub)
+
     return parser
 
 

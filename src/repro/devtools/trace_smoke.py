@@ -1,0 +1,159 @@
+"""Trace-ingestion smoke (CI gate, DESIGN.md §5.9).
+
+Materializes deterministic raw-trace fixtures for all three supported
+schemas and proves, per schema, the properties the ingestion pipeline
+promises:
+
+1. **Ingestion determinism** — two independent streaming passes over
+   the same raw file yield byte-identical spec streams (canonical JSON
+   compared), and match an in-memory load of the same specs.
+2. **Stream identity** — a simulation fed by a
+   :class:`~repro.workload.ingest.source.TraceIngestSource` finishes
+   bit-identical to the same engine fed the fully materialized job
+   list, without faults and under the ``chaos`` fault profile.
+3. **Replay identity** — the decision trace recorded from a
+   trace-ingested run replays bit-for-bit against a freshly rebuilt
+   cluster + workload.
+
+Fixtures land in ``$REPRO_TRACE_FIXTURES`` when set (CI points this at
+an ``actions/cache`` directory keyed on the generator source hash, so
+warm runs skip generation) or a temporary directory otherwise.
+
+Run:  PYTHONPATH=src python -m repro.devtools.trace_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.heterogeneity import homogeneous_cluster
+from repro.core.online import DollyMPScheduler
+from repro.faults import named_profile
+from repro.resources import Resources
+from repro.sim.engine import SimulationEngine
+from repro.sim.replay import ReplayDivergence, assert_replay_identical, replay_trace
+from repro.sim.runner import run_recorded
+from repro.workload.google_trace import jobs_from_specs, spec_to_dict
+from repro.workload.ingest import (
+    TraceIngestSource,
+    materialize,
+    normalize_stream,
+    open_reader,
+)
+
+__all__ = ["main", "FIXTURE_ROWS", "SMOKE_JOBS"]
+
+#: Rows per materialized fixture and jobs simulated per schema — sized
+#: for a sub-minute gate that still interleaves arrivals with service.
+FIXTURE_ROWS = 500
+SMOKE_JOBS = 30
+SEED = 31
+
+
+def _mk_engine(jobs_or_source, fault_profile=None):
+    return SimulationEngine(
+        homogeneous_cluster(16, Resources.of(16, 32)),
+        DollyMPScheduler(max_clones=2),
+        jobs_or_source,
+        seed=SEED,
+        schedule_interval=5.0,
+        fault_profile=fault_profile,
+    )
+
+def _stream(path, schema):
+    return normalize_stream(open_reader(path, schema), max_jobs=SMOKE_JOBS)
+
+
+def _check_schema(schema: str, path: Path) -> str | None:
+    """Run all three property checks; return an error string on failure."""
+    specs = list(_stream(path, schema))
+    if not specs:
+        return f"{schema}: ingestion produced no jobs"
+
+    # 1 — streaming determinism, byte-compared via canonical JSON.
+    first = json.dumps([spec_to_dict(s) for s in specs], sort_keys=True)
+    second = json.dumps(
+        [spec_to_dict(s) for s in _stream(path, schema)], sort_keys=True
+    )
+    if first != second:
+        return f"{schema}: two ingestion passes differ byte-wise"
+
+    # 2 — streamed source vs in-memory workload, no faults + chaos.
+    reference = _mk_engine(jobs_from_specs(specs)).run().deterministic()
+    streamed = (
+        _mk_engine(TraceIngestSource(_stream(path, schema)))
+        .run()
+        .deterministic()
+    )
+    if streamed != reference:
+        return (
+            f"{schema}: TraceIngestSource run DIVERGED from in-memory run "
+            f"({streamed.num_jobs} vs {reference.num_jobs} jobs)"
+        )
+    profile = named_profile("chaos")
+    ref_faulty = (
+        _mk_engine(jobs_from_specs(specs), profile).run().deterministic()
+    )
+    streamed_faulty = (
+        _mk_engine(TraceIngestSource(_stream(path, schema)), profile)
+        .run()
+        .deterministic()
+    )
+    if streamed_faulty != ref_faulty:
+        return f"{schema}: fault-profile streamed run DIVERGED from in-memory run"
+
+    # 3 — decision-trace replay identity of a trace-ingested run.
+    recorded, trace = run_recorded(
+        homogeneous_cluster(16, Resources.of(16, 32)),
+        DollyMPScheduler(max_clones=2),
+        TraceIngestSource(_stream(path, schema)),
+        seed=SEED,
+        schedule_interval=5.0,
+    )
+    try:
+        replayed = replay_trace(
+            trace,
+            homogeneous_cluster(16, Resources.of(16, 32)),
+            jobs_from_specs(specs),
+        )
+        assert_replay_identical(recorded, replayed)
+    except ReplayDivergence as exc:
+        return f"{schema}: replay DIVERGED — {exc}"
+    return None
+
+
+def main() -> int:
+    fixture_dir = os.environ.get("REPRO_TRACE_FIXTURES")
+    if fixture_dir:
+        Path(fixture_dir).mkdir(parents=True, exist_ok=True)
+        paths = materialize(fixture_dir, rows=FIXTURE_ROWS, seed=0)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory()
+        paths = materialize(cleanup.name, rows=FIXTURE_ROWS, seed=0)
+    try:
+        checked = []
+        for schema, path in paths.items():
+            error = _check_schema(schema, path)
+            if error is not None:
+                print(f"trace-smoke: {error}", file=sys.stderr)
+                return 1
+            checked.append(schema)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    print(
+        f"trace-smoke: {', '.join(checked)} — streaming ingestion "
+        f"deterministic; TraceIngestSource runs bit-identical to in-memory "
+        f"(plain + chaos faults); decision-trace replay identical "
+        f"({FIXTURE_ROWS} fixture rows, {SMOKE_JOBS} jobs per schema)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

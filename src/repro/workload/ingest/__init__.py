@@ -1,0 +1,76 @@
+"""Streaming real-trace ingestion (DESIGN.md §5.9).
+
+Turns raw Google 2011 / Google 2019 / Alibaba 2018 cluster-trace files
+into the simulator's :class:`~repro.workload.google_trace.TraceJobSpec`
+stream in bounded memory, and exposes them as an
+:class:`~repro.workload.arrivals.ArrivalSource` so real traffic flows
+through ``run``/``serve``/checkpoint/replay unchanged.
+
+Layering::
+
+    readers    raw file → TraceRow stream (schema shape validation)
+    normalize  TraceRow → TraceJobSpec   (ordering, assembly, scaling)
+    filters    peak-window location over the raw stream
+    source     TraceIngestSource: specs → engine arrivals
+    validate   real-vs-synthetic distribution reports
+    fixtures   deterministic raw-trace generation (tests, CI, bench)
+    cli        `python -m repro ingest` convert/validate/stats/fixture
+"""
+
+from repro.workload.ingest.errors import TraceFormatError
+from repro.workload.ingest.filters import find_peak_window
+from repro.workload.ingest.fixtures import (
+    FIXTURE_SCHEMAS,
+    fixture_filename,
+    generator_fingerprint,
+    materialize,
+    write_fixture,
+)
+from repro.workload.ingest.normalize import (
+    SCHEMA_SCALES,
+    DemandScale,
+    normalize_stream,
+)
+from repro.workload.ingest.readers import (
+    READER_SCHEMAS,
+    Alibaba2018Reader,
+    Google2011Reader,
+    Google2019Reader,
+    TraceReader,
+    TraceRow,
+    open_reader,
+)
+from repro.workload.ingest.source import TraceIngestSource
+from repro.workload.ingest.validate import (
+    STRAGGLER_CV,
+    StreamStats,
+    synthetic_stats,
+    tv_distance,
+    validation_report,
+)
+
+__all__ = [
+    "TraceFormatError",
+    "find_peak_window",
+    "FIXTURE_SCHEMAS",
+    "fixture_filename",
+    "generator_fingerprint",
+    "materialize",
+    "write_fixture",
+    "SCHEMA_SCALES",
+    "DemandScale",
+    "normalize_stream",
+    "READER_SCHEMAS",
+    "Alibaba2018Reader",
+    "Google2011Reader",
+    "Google2019Reader",
+    "TraceReader",
+    "TraceRow",
+    "open_reader",
+    "TraceIngestSource",
+    "STRAGGLER_CV",
+    "StreamStats",
+    "synthetic_stats",
+    "tv_distance",
+    "validation_report",
+]

@@ -1,0 +1,52 @@
+"""Structured errors for the trace-ingestion pipeline.
+
+Every malformed input — truncated gzip members, out-of-order
+timestamps, unknown event types, duplicate job/task ids, rows exceeding
+machine capacity, short or non-numeric rows — raises
+:class:`TraceFormatError` carrying the source path, the 1-based line
+number and the schema name, so a failure inside a multi-gigabyte trace
+names the exact offending row instead of silently dropping it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["TraceFormatError"]
+
+
+class TraceFormatError(ValueError):
+    """A trace file violated its schema contract.
+
+    Attributes
+    ----------
+    path:   source file (None for in-memory streams)
+    line:   1-based line number of the offending row (None when the
+            error is not attributable to a single row, e.g. a gzip
+            stream truncated mid-member)
+    schema: reader schema name (``google2011`` / ``google2019`` /
+            ``alibaba2018``)
+    reason: the bare message, without the location prefix
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        path: str | Path | None = None,
+        line: int | None = None,
+        schema: str | None = None,
+    ) -> None:
+        self.reason = reason
+        self.path = str(path) if path is not None else None
+        self.line = line
+        self.schema = schema
+        where = []
+        if schema is not None:
+            where.append(schema)
+        if self.path is not None:
+            where.append(self.path)
+        if line is not None:
+            where.append(f"line {line}")
+        prefix = ":".join(where)
+        super().__init__(f"{prefix}: {reason}" if prefix else reason)

@@ -1,0 +1,225 @@
+"""Real-vs-synthetic workload validation reports.
+
+The synthetic :class:`~repro.workload.google_trace.GoogleTraceGenerator`
+was fitted to the statistics the paper quotes; once real traces stream
+in, we need to *measure* how far a given trace sits from that synthetic
+model.  :class:`StreamStats` accumulates distribution sketches over a
+spec stream in O(1) memory (fixed log2 bucket histograms — the same
+bucketing as the observability registry), and
+:func:`validation_report` renders two stat sets plus per-metric
+total-variation distances as canonical JSON
+(``repro-ingest-validation/v1``).
+
+Compared dimensions, per ISSUE/ROADMAP:
+
+* **task-count tails** — jobs-per-size histogram ("95% of jobs are small");
+* **straggler frequency** — fraction of phases whose fitted cv = σ/θ
+  crosses :data:`STRAGGLER_CV` (the paper: 70% of phases straggler-prone);
+* **per-resource demand shapes** — CPU and memory request histograms;
+* **inter-arrival CDF** — job inter-arrival gap histogram + quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Mapping
+
+from repro.workload.google_trace import TraceJobSpec
+
+__all__ = [
+    "STRAGGLER_CV",
+    "StreamStats",
+    "tv_distance",
+    "validation_report",
+    "synthetic_stats",
+]
+
+#: A phase whose fitted coefficient of variation σ/θ reaches this value
+#: is counted straggler-prone (the paper's straggler phases are fitted
+#: at cv ≈ 1.0; well-behaved phases at 0.2).
+STRAGGLER_CV = 0.5
+
+#: log2 bucket range shared by all histograms: bucket k counts values in
+#: (2^(k-1), 2^k]; values ≤ 2^LO land in LO, values > 2^HI in HI.
+_LO, _HI = -10, 40
+
+
+def _bucket(value: float) -> int:
+    if value <= 0.0:
+        return _LO
+    return min(max(math.ceil(math.log2(value)), _LO), _HI)
+
+
+class _Hist:
+    """Fixed-range log2 histogram with streaming quantile extraction."""
+
+    __slots__ = ("counts", "n")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.n = 0
+
+    def add(self, value: float) -> None:
+        b = _bucket(value)
+        self.counts[b] = self.counts.get(b, 0) + 1
+        self.n += 1
+
+    def quantile_upper(self, q: float) -> float | None:
+        """Upper edge (2^k) of the bucket holding quantile ``q``."""
+        if self.n == 0:
+            return None
+        target = q * self.n
+        seen = 0
+        for b in sorted(self.counts):
+            seen += self.counts[b]
+            if seen >= target:
+                return float(2.0 ** b)
+        return float(2.0 ** _HI)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "buckets": {str(b): self.counts[b] for b in sorted(self.counts)},
+        }
+
+
+class StreamStats:
+    """O(1)-memory distribution sketch over a job-spec stream."""
+
+    def __init__(self) -> None:
+        self.jobs = 0
+        self.tasks = 0
+        self.phases = 0
+        self.straggler_phases = 0
+        self.first_arrival: float | None = None
+        self.last_arrival: float | None = None
+        self._prev_arrival: float | None = None
+        self.task_count = _Hist()
+        self.interarrival = _Hist()
+        self.cpu = _Hist()
+        self.mem = _Hist()
+        self.theta = _Hist()
+
+    def add(self, spec: TraceJobSpec) -> None:
+        self.jobs += 1
+        n = spec.num_tasks()
+        self.tasks += n
+        self.task_count.add(float(n))
+        arrival = spec.arrival_time
+        if self.first_arrival is None:
+            self.first_arrival = arrival
+        self.last_arrival = arrival
+        if self._prev_arrival is not None:
+            self.interarrival.add(arrival - self._prev_arrival)
+        self._prev_arrival = arrival
+        for phase in spec.phases:
+            self.phases += 1
+            if phase.sigma >= STRAGGLER_CV * phase.theta:
+                self.straggler_phases += 1
+            self.cpu.add(phase.cpu)
+            self.mem.add(phase.mem)
+            self.theta.add(phase.theta)
+
+    def extend(self, specs: Iterable[TraceJobSpec]) -> "StreamStats":
+        for spec in specs:
+            self.add(spec)
+        return self
+
+    @property
+    def straggler_fraction(self) -> float:
+        return self.straggler_phases / self.phases if self.phases else 0.0
+
+    @property
+    def mean_interarrival(self) -> float:
+        if self.jobs < 2 or self.first_arrival is None or self.last_arrival is None:
+            return 0.0
+        return (self.last_arrival - self.first_arrival) / (self.jobs - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "tasks": self.tasks,
+            "phases": self.phases,
+            "straggler_fraction": round(self.straggler_fraction, 6),
+            "arrival_span_s": (
+                round(self.last_arrival - self.first_arrival, 6)
+                if self.jobs and self.first_arrival is not None
+                else 0.0
+            ),
+            "mean_interarrival_s": round(self.mean_interarrival, 6),
+            "task_count": self.task_count.to_dict(),
+            "task_count_tail": {
+                "p50": self.task_count.quantile_upper(0.50),
+                "p90": self.task_count.quantile_upper(0.90),
+                "p99": self.task_count.quantile_upper(0.99),
+            },
+            "interarrival": self.interarrival.to_dict(),
+            "interarrival_cdf": {
+                "p10": self.interarrival.quantile_upper(0.10),
+                "p50": self.interarrival.quantile_upper(0.50),
+                "p90": self.interarrival.quantile_upper(0.90),
+                "p99": self.interarrival.quantile_upper(0.99),
+            },
+            "cpu_demand": self.cpu.to_dict(),
+            "mem_demand": self.mem.to_dict(),
+            "theta": self.theta.to_dict(),
+        }
+
+
+def tv_distance(a: Mapping[str, int] | dict, b: Mapping[str, int] | dict) -> float:
+    """Total-variation distance between two bucket-count dicts in [0, 1]."""
+    na = sum(a.values())
+    nb = sum(b.values())
+    if na == 0 or nb == 0:
+        return 1.0 if na != nb else 0.0
+    keys = set(a) | set(b)
+    return 0.5 * sum(
+        abs(a.get(k, 0) / na - b.get(k, 0) / nb) for k in sorted(keys)
+    )
+
+
+def synthetic_stats(
+    *, jobs: int, mean_interarrival: float, seed: int = 0
+) -> StreamStats:
+    """Stats of the synthetic generator matched to a real trace's shape
+    (same job count and mean inter-arrival), the comparison baseline."""
+    from repro.workload.google_trace import GoogleTraceGenerator
+
+    gen = GoogleTraceGenerator(seed=seed)
+    stats = StreamStats()
+    # Generate one job at a time so the baseline pass is as bounded in
+    # memory as the real-trace pass it is compared against.
+    t = 0.0
+    for i in range(jobs):
+        stats.add(gen.make_job_spec(t, i))
+        if mean_interarrival > 0:
+            t += float(gen.rng.exponential(mean_interarrival))
+    return stats
+
+
+def validation_report(real: StreamStats, synthetic: StreamStats) -> dict:
+    """Canonical comparison report between a real and a synthetic stream."""
+    real_d = real.to_dict()
+    synth_d = synthetic.to_dict()
+    distances = {
+        metric: round(
+            tv_distance(real_d[metric]["buckets"], synth_d[metric]["buckets"]), 6
+        )
+        for metric in ("task_count", "interarrival", "cpu_demand", "mem_demand",
+                       "theta")
+    }
+    distances["straggler_fraction_delta"] = round(
+        abs(real.straggler_fraction - synthetic.straggler_fraction), 6
+    )
+    return {
+        "format": "repro-ingest-validation/v1",
+        "real": real_d,
+        "synthetic": synth_d,
+        "tv_distance": distances,
+    }
+
+
+def dumps_canonical(report: dict) -> str:
+    """Byte-stable JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n"

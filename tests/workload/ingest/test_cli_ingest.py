@@ -1,0 +1,103 @@
+"""`python -m repro ingest` — end-to-end subcommand coverage."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.workload.google_trace import load_trace
+from repro.workload.ingest import generator_fingerprint
+
+CORPUS = Path(__file__).resolve().parents[2] / "fixtures" / "traces"
+G2019 = str(CORPUS / "google2019-r200-s0.jsonl")
+G2011 = str(CORPUS / "google2011-r200-s0.csv.gz")
+ALI = str(CORPUS / "alibaba2018-r200-s0.csv")
+
+
+class TestConvert:
+    def test_jsonl_streaming(self, tmp_path, capsys):
+        out = tmp_path / "jobs.jsonl"
+        rc = main(
+            ["ingest", "convert", G2019, "--schema", "google2019",
+             "--jsonl", "--out", str(out), "--max-jobs", "5"]
+        )
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 5
+        ids = [json.loads(l)["job_id"] for l in lines]
+        assert ids == [0, 1, 2, 3, 4]
+        assert "converted 5 jobs" in capsys.readouterr().out
+
+    def test_jsonl_to_stdout(self, capsys):
+        rc = main(
+            ["ingest", "convert", ALI, "--schema", "alibaba2018",
+             "--jsonl", "--out", "-", "--max-jobs", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+    def test_trace_v1_document(self, tmp_path):
+        out = tmp_path / "jobs.json"
+        rc = main(
+            ["ingest", "convert", G2011, "--schema", "google2011",
+             "--out", str(out), "--max-jobs", "4"]
+        )
+        assert rc == 0
+        specs = load_trace(out)
+        assert len(specs) == 4
+
+    def test_stdout_requires_jsonl(self):
+        with pytest.raises(SystemExit, match="requires --jsonl"):
+            main(["ingest", "convert", G2011, "--schema", "google2011",
+                  "--out", "-"])
+
+
+class TestStats:
+    def test_stdout_payload(self, capsys):
+        rc = main(["ingest", "stats", G2011, "--schema", "google2011"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-ingest-stats/v1"
+        assert payload["stats"]["jobs"] > 0
+        assert payload["peak_rss_mb"] > 0
+
+    def test_out_file_and_peak_window(self, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        rc = main(
+            ["ingest", "stats", G2011, "--schema", "google2011",
+             "--peak-window", "300", "--out", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["stats"]["jobs"] > 0
+        assert "peak window" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_report_file(self, tmp_path):
+        out = tmp_path / "report.json"
+        rc = main(
+            ["ingest", "validate", G2019, "--schema", "google2019",
+             "--out", str(out), "--max-jobs", "20"]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["format"] == "repro-ingest-validation/v1"
+        assert report["real"]["jobs"] > 0
+        # The synthetic baseline is matched to the real stream's shape.
+        assert report["synthetic"]["jobs"] == report["real"]["jobs"]
+
+
+class TestFixture:
+    def test_materialize_and_fingerprint(self, tmp_path, capsys):
+        rc = main(
+            ["ingest", "fixture", "--out-dir", str(tmp_path),
+             "--rows", "50", "--schema", "alibaba2018"]
+        )
+        assert rc == 0
+        assert (tmp_path / "alibaba2018-r50-s0.csv").exists()
+        assert generator_fingerprint() in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Fixture-generator determinism and the committed-corpus pin."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.workload.ingest import (
+    FIXTURE_SCHEMAS,
+    fixture_filename,
+    generator_fingerprint,
+    materialize,
+    normalize_stream,
+    open_reader,
+    write_fixture,
+)
+
+CORPUS = Path(__file__).resolve().parents[2] / "fixtures" / "traces"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("schema", FIXTURE_SCHEMAS)
+    def test_same_params_same_bytes(self, tmp_path, schema):
+        a = tmp_path / "a" / fixture_filename(schema, 120, 3)
+        b = tmp_path / "b" / fixture_filename(schema, 120, 3)
+        assert write_fixture(schema, a, rows=120, seed=3) == 120
+        assert write_fixture(schema, b, rows=120, seed=3) == 120
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_different_bytes(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        write_fixture("alibaba2018", a, rows=60, seed=0)
+        write_fixture("alibaba2018", b, rows=60, seed=1)
+        assert a.read_bytes() != b.read_bytes()
+
+    @pytest.mark.parametrize("schema", FIXTURE_SCHEMAS)
+    def test_committed_corpus_pin(self, tmp_path, schema):
+        """The committed ~200-row corpus must equal a fresh generation.
+
+        If this fails you changed the generator: regenerate the corpus
+        (see tests/fixtures/traces/README.md) and commit the new bytes.
+        """
+        committed = CORPUS / fixture_filename(schema, 200, 0)
+        fresh = tmp_path / committed.name
+        write_fixture(schema, fresh, rows=200, seed=0)
+        assert fresh.read_bytes() == committed.read_bytes()
+
+    @pytest.mark.parametrize("schema", FIXTURE_SCHEMAS)
+    def test_corpus_ingests_cleanly(self, schema):
+        path = CORPUS / fixture_filename(schema, 200, 0)
+        specs = list(normalize_stream(open_reader(path, schema)))
+        assert specs
+        assert [s.job_id for s in specs] == list(range(len(specs)))
+
+
+class TestMaterialize:
+    def test_skips_existing_files(self, tmp_path):
+        first = materialize(tmp_path, rows=40, seed=0, schemas=("alibaba2018",))
+        path = first["alibaba2018"]
+        stamp = path.stat().st_mtime_ns
+        second = materialize(tmp_path, rows=40, seed=0, schemas=("alibaba2018",))
+        assert second["alibaba2018"] == path
+        assert path.stat().st_mtime_ns == stamp
+
+    def test_validates_inputs(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fixture schema"):
+            write_fixture("yahoo2007", tmp_path / "x.csv", rows=10)
+        with pytest.raises(ValueError, match="rows must be >= 1"):
+            write_fixture("alibaba2018", tmp_path / "x.csv", rows=0)
+
+    def test_fingerprint_is_stable_sha256(self):
+        fp = generator_fingerprint()
+        assert re.fullmatch(r"[0-9a-f]{64}", fp)
+        assert fp == generator_fingerprint()

@@ -1,0 +1,84 @@
+"""Validation-report coverage: sketches, distances, canonical output."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workload.ingest import (
+    StreamStats,
+    normalize_stream,
+    open_reader,
+    synthetic_stats,
+    tv_distance,
+    validation_report,
+)
+from repro.workload.ingest.validate import dumps_canonical
+
+CORPUS = Path(__file__).resolve().parents[2] / "fixtures" / "traces"
+FIXTURE = CORPUS / "google2011-r200-s0.csv.gz"
+
+
+def corpus_stats() -> StreamStats:
+    return StreamStats().extend(
+        normalize_stream(open_reader(FIXTURE, "google2011"))
+    )
+
+
+class TestStreamStats:
+    def test_counts_and_bounds(self):
+        stats = corpus_stats()
+        assert stats.jobs > 0
+        assert stats.tasks >= stats.jobs
+        assert stats.phases >= stats.jobs
+        assert 0.0 <= stats.straggler_fraction <= 1.0
+        assert stats.mean_interarrival >= 0.0
+
+    def test_to_dict_deterministic(self):
+        assert corpus_stats().to_dict() == corpus_stats().to_dict()
+
+    def test_quantiles_monotone(self):
+        tail = corpus_stats().to_dict()["task_count_tail"]
+        assert tail["p50"] <= tail["p90"] <= tail["p99"]
+
+    def test_empty_stats(self):
+        stats = StreamStats()
+        assert stats.straggler_fraction == 0.0
+        assert stats.mean_interarrival == 0.0
+        assert stats.to_dict()["jobs"] == 0
+
+
+class TestTvDistance:
+    def test_identical_is_zero(self):
+        assert tv_distance({"1": 5, "2": 5}, {"1": 5, "2": 5}) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert tv_distance({"1": 10}, {"2": 10}) == 1.0
+
+    def test_scale_invariant(self):
+        assert tv_distance({"1": 1, "2": 3}, {"1": 10, "2": 30}) == 0.0
+
+    def test_empty_sides(self):
+        assert tv_distance({}, {}) == 0.0
+        assert tv_distance({"1": 1}, {}) == 1.0
+
+
+class TestReport:
+    def test_synthetic_stats_seeded(self):
+        a = synthetic_stats(jobs=20, mean_interarrival=5.0, seed=9)
+        b = synthetic_stats(jobs=20, mean_interarrival=5.0, seed=9)
+        assert a.to_dict() == b.to_dict()
+
+    def test_report_shape_and_canonical_bytes(self):
+        real = corpus_stats()
+        synth = synthetic_stats(
+            jobs=real.jobs, mean_interarrival=real.mean_interarrival, seed=0
+        )
+        report = validation_report(real, synth)
+        assert report["format"] == "repro-ingest-validation/v1"
+        for metric in ("task_count", "interarrival", "cpu_demand",
+                       "mem_demand", "theta"):
+            assert 0.0 <= report["tv_distance"][metric] <= 1.0
+        assert 0.0 <= report["tv_distance"]["straggler_fraction_delta"] <= 1.0
+        text = dumps_canonical(report)
+        assert text == dumps_canonical(json.loads(text))
