@@ -232,12 +232,10 @@ def main(argv: list[str] | None = None) -> int:
             "wall_s": run["wall_s"],
             "peak_rss_mb": run["peak_rss_mb"],
         }
-        line = json.dumps(record, sort_keys=True)
-        path = Path(args.append)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-        print(f"appended to {path}: {line}")
+        from benchmarks.trajectory import append_jsonl
+
+        line = append_jsonl(args.append, record)
+        print(f"appended to {args.append}: {line}")
         return 0
 
     record = measure(legacy=not args.no_legacy)

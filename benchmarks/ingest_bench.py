@@ -180,11 +180,10 @@ def main(argv: list[str] | None = None) -> int:
             },
             sort_keys=True,
         )
-        path = Path(args.append)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-        print(f"appended to {path}: {line}")
+        from benchmarks.trajectory import append_jsonl
+
+        line = append_jsonl(args.append, json.loads(line))
+        print(f"appended to {args.append}: {line}")
         return 0
 
     if args.write_baseline:

@@ -106,15 +106,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     record = measure()
-    line = json.dumps(record, sort_keys=True)
     if args.append:
-        path = Path(args.append)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-        print(f"appended to {path}: {line}")
+        from benchmarks.trajectory import append_jsonl
+
+        line = append_jsonl(args.append, record)
+        print(f"appended to {args.append}: {line}")
     else:
-        print(line)
+        print(json.dumps(record, sort_keys=True))
     return 0
 
 

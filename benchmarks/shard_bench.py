@@ -1,0 +1,252 @@
+"""Sharded-engine scaling benchmark (events/sec, tasks-placed/sec, RSS).
+
+Runs the full simulation loop on trace-simulator clusters at 30K and
+100K servers with the engine's server sharding at K ∈ {1, 4, 8} and
+reports throughput plus peak RSS per (config, K).  K=1 is the plain
+single-heap engine — the merge barrier guarantees every K produces
+bit-identical ``SimulationResult`` values (the whole point of DESIGN.md
+§5.10), so events/sec ratios are pure wall-time ratios over identical
+work; the measurement *asserts* that identity and refuses to write a
+baseline from diverging runs.
+
+The workload is an arrival burst: thousands of small jobs landing
+twenty per second on a mostly-idle cluster.  That is the regime the
+shard bounds target — every scheduling pass carries a deep queue of
+candidate rows over 100K servers, so the blocked placement kernels
+(per-shard availability bounds pruning whole blocks) dominate the
+profile, exactly as real-trace replay at cluster scale does.
+
+Usage::
+
+    python -m benchmarks.shard_bench                      # all configs
+    python -m benchmarks.shard_bench --config ref100k --shards 4 --json
+    python -m benchmarks.shard_bench --append <path>      # trajectory record
+    python -m benchmarks.shard_bench --write-baseline     # refresh BENCH_shard.json
+
+Each (config, K) measurement runs in a subprocess so peak-RSS numbers
+(``ru_maxrss`` is process-lifetime-monotonic) stay per-run and the
+process-global job-id counter starts identically for every run (id
+parity is what makes the cross-K identity assertion byte-exact).  The
+pass/fail enforcement lives in :mod:`benchmarks.check_regression`;
+this module only measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["CONFIGS", "SHARD_COUNTS", "IDENTITY_KEYS", "measure_config", "main"]
+
+RESULTS = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS / "BENCH_shard.json"
+
+#: Reference runs.  ``ref100k`` is the 100K-server run the ≥1.5×
+#: acceptance criterion (events/sec at K≥4 vs K=1) is judged on;
+#: ``ref30k`` tracks the 30K point; ``gate`` is the smaller run the
+#: per-commit regression gate re-measures.
+CONFIGS: dict[str, dict] = {
+    "ref30k": dict(num_servers=30_000, num_jobs=1_200, mean_interarrival=0.05),
+    "ref100k": dict(num_servers=100_000, num_jobs=2_000, mean_interarrival=0.05),
+    "gate": dict(num_servers=30_000, num_jobs=400, mean_interarrival=0.05),
+}
+
+#: Shard counts measured per config (1 is the dense baseline).
+SHARD_COUNTS = (1, 4, 8)
+
+#: The sharded K the per-commit gate re-measures against K=1, and the
+#: K the ≥1.5× ref100k acceptance ratio is read at.
+MIN_GATE_SHARDS = 4
+
+#: Result fields that must be bit-identical across K within a config.
+IDENTITY_KEYS = ("total_flowtime", "events", "copies_launched", "simulated_time")
+
+SEED = 2022
+SCHEDULE_INTERVAL = 5.0  # the 5-second slots of Sec. 6.3
+
+
+def _git_head() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def measure_config(name: str, shards: int) -> dict:
+    """Run one (config, K) simulation in-process and report throughput."""
+    from repro.cluster.heterogeneity import trace_sim_cluster
+    from repro.core.online import DollyMPScheduler
+    from repro.sim.engine import SimulationEngine
+    from repro.workload.google_trace import GoogleTraceGenerator, jobs_from_specs
+
+    cfg = CONFIGS[name]
+    cluster = trace_sim_cluster(cfg["num_servers"], seed=SEED)
+    jobs = jobs_from_specs(
+        GoogleTraceGenerator(seed=SEED).generate(
+            cfg["num_jobs"], mean_interarrival=cfg["mean_interarrival"]
+        )
+    )
+    engine = SimulationEngine(
+        cluster,
+        DollyMPScheduler(max_clones=2),
+        jobs,
+        seed=SEED,
+        schedule_interval=SCHEDULE_INTERVAL,
+        max_time=1e9,
+        shards=shards,
+    )
+    t0 = time.perf_counter()
+    result = engine.run()
+    wall = time.perf_counter() - t0
+    events = engine.events_processed
+    return {
+        "config": name,
+        "num_servers": cfg["num_servers"],
+        "num_jobs": cfg["num_jobs"],
+        "shards": shards,
+        "wall_s": round(wall, 3),
+        "events": int(events),
+        "events_per_sec": round(events / wall, 1),
+        "copies_launched": result.copies_launched,
+        "tasks_placed_per_sec": round(result.copies_launched / wall, 1),
+        "simulated_time": result.simulated_time,
+        "total_flowtime": result.total_flowtime,
+        "peak_rss_mb": round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+    }
+
+
+def _measure_subprocess(name: str, shards: int) -> dict:
+    """Measure one (config, K) pair in a fresh interpreter."""
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "benchmarks.shard_bench",
+            "--config",
+            name,
+            "--shards",
+            str(shards),
+            "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ),
+        cwd=Path(__file__).resolve().parent.parent,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(
+            f"shard_bench subprocess ({name}, K={shards}) failed:\n{out.stderr}"
+        )
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def _assert_identity(runs: list[dict]) -> None:
+    """Every K of one config must agree on the identity keys bit-for-bit."""
+    base = runs[0]
+    for run in runs[1:]:
+        for key in IDENTITY_KEYS:
+            if run[key] != base[key]:
+                raise RuntimeError(
+                    f"{run['config']}: K={run['shards']} diverged from "
+                    f"K={base['shards']} on {key}: {run[key]!r} != {base[key]!r} "
+                    "— the merge barrier is broken; refusing to record"
+                )
+
+
+def measure(configs: tuple[str, ...] = ("ref30k", "ref100k", "gate")) -> dict:
+    """Full measurement: every config at every shard count, identity-
+    checked, with per-config speedup ratios vs the K=1 baseline."""
+    runs: list[dict] = []
+    speedups: dict[str, dict[str, float]] = {}
+    for name in configs:
+        per_config = [_measure_subprocess(name, k) for k in SHARD_COUNTS]
+        _assert_identity(per_config)
+        runs.extend(per_config)
+        base = per_config[0]["events_per_sec"]
+        speedups[name] = {
+            str(r["shards"]): round(r["events_per_sec"] / base, 2)
+            for r in per_config
+            if r["shards"] != 1
+        }
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": runs,
+        "speedups": speedups,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), help="run one config in-process")
+    parser.add_argument(
+        "--shards", type=int, default=1, help="shard count K for --config (default 1)"
+    )
+    parser.add_argument("--json", action="store_true", help="print the record as JSON only")
+    parser.add_argument(
+        "--append", metavar="PATH", help="append a trajectory record to this JSONL file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the measurement to {BASELINE_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+
+    if args.config:
+        record = measure_config(args.config, args.shards)
+        print(json.dumps(record, sort_keys=True))
+        return 0
+
+    if args.append:
+        # Nightly trajectory: the cheap gate config at K=1 and K=4.
+        from benchmarks.trajectory import append_jsonl
+
+        k1 = _measure_subprocess("gate", 1)
+        k4 = _measure_subprocess("gate", 4)
+        _assert_identity([k1, k4])
+        record = {
+            "bench": "shard",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "commit": _git_head(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "events_per_sec_k1": k1["events_per_sec"],
+            "events_per_sec_k4": k4["events_per_sec"],
+            "speedup_k4": round(k4["events_per_sec"] / k1["events_per_sec"], 2),
+            "peak_rss_mb_k4": k4["peak_rss_mb"],
+        }
+        line = append_jsonl(args.append, record)
+        print(f"appended to {args.append}: {line}")
+        return 0
+
+    record = measure()
+    if args.write_baseline:
+        baseline = {}
+        if BASELINE_PATH.exists():
+            baseline = json.loads(BASELINE_PATH.read_text())
+        baseline["measured"] = record
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

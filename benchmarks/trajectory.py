@@ -1,0 +1,37 @@
+"""Append-only JSONL trajectory records shared by the nightly benches.
+
+One tiny helper so every ``--append`` path behaves identically — in
+particular against a trajectory file whose last line was truncated by a
+crash or full disk: appending straight after truncated bytes would fuse
+the new record onto the torn line, corrupting *both*.  The helper seals
+a torn tail with a newline first, so the damage stays confined to the
+already-lost record and every append lands on its own line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["append_jsonl"]
+
+
+def append_jsonl(path: str | Path, record: dict) -> str:
+    """Append ``record`` as one JSONL line to ``path``; returns the line.
+
+    Creates parent directories and the file as needed.  If the file ends
+    mid-line (no trailing newline — a truncated last record), a newline
+    is written first so the new record starts on a fresh line instead of
+    concatenating onto the torn one.
+    """
+    line = json.dumps(record, sort_keys=True)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a+b") as fh:
+        fh.seek(0, 2)
+        if fh.tell() > 0:
+            fh.seek(-1, 2)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+        fh.write(line.encode("utf-8") + b"\n")
+    return line

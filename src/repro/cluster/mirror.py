@@ -47,12 +47,27 @@ from repro.resources import EPS, Resources
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.server import Server
+    from repro.sim.shard import ShardMap
 
 __all__ = ["AvailabilityMirror"]
 
 
 class AvailabilityMirror:
-    """Incrementally-maintained SoA view of a cluster's availability."""
+    """Incrementally-maintained SoA view of a cluster's availability.
+
+    Sharded mode (DESIGN.md §5.10): :meth:`bind_shards` splits the
+    arrays into K contiguous blocks and maintains a per-shard
+    *stale-high* availability bound — an upper bound on every server's
+    ``avail`` in the block, kept valid for free because allocation only
+    shrinks availability (releases max-update the bound; full block
+    evaluations tighten it exactly).  The blocked kernels scan shards in
+    ascending id order and skip any block whose bound proves it cannot
+    beat the current best, which preserves bitwise identity: max/argmax
+    combines are compare-only (regrouping-safe), ties already resolve to
+    the lowest server id, and the accounting sums below deliberately
+    stay global full-array reductions (``np.sum`` is *not*
+    regrouping-safe, so per-shard partial sums would drift in ulps).
+    """
 
     __slots__ = (
         "avail_cpu",
@@ -65,10 +80,19 @@ class AvailabilityMirror:
         "_coalescing",
         "_pending",
         "_alloc_cache",
+        "_shard_slices",
+        "_shard_of",
+        "_ub_cpu",
+        "_ub_mem",
     )
 
     def __init__(self, servers: Sequence["Server"]) -> None:
         m = len(servers)
+        # Sharded-mode state (bind_shards); None/empty when unsharded.
+        self._shard_slices: list[tuple[int, int]] | None = None
+        self._shard_of: list[int] | None = None
+        self._ub_cpu: list[float] = []
+        self._ub_mem: list[float] = []
         # Coalesced-update window (batched event drains): while open,
         # ``update`` calls park the server in ``_pending`` instead of
         # storing immediately; ``flush`` replays each parked server's
@@ -105,6 +129,42 @@ class AvailabilityMirror:
         for s in servers:
             self.update(s)
 
+    def bind_shards(self, shard_map: "ShardMap") -> None:
+        """Enable the blocked kernels over a contiguous shard map.
+
+        Idempotent per map; rebinding with a different K rebuilds the
+        bounds.  Non-contiguous maps are rejected — they shard the event
+        queue but not the mirror (the engine only binds contiguous ones).
+        """
+        if not shard_map.contiguous:
+            raise ValueError("mirror sharding requires a contiguous shard map")
+        if shard_map.num_servers != len(self.cap_cpu):
+            raise ValueError(
+                f"shard map covers {shard_map.num_servers} servers, "
+                f"mirror holds {len(self.cap_cpu)}"
+            )
+        slices = shard_map.slices
+        self._shard_slices = slices
+        of = [0] * shard_map.num_servers
+        for k, (lo, hi) in enumerate(slices):
+            for i in range(lo, hi):
+                of[i] = k
+        self._shard_of = of
+        self._retighten_bounds()
+
+    def _retighten_bounds(self) -> None:
+        """Recompute every shard's availability bound exactly."""
+        slices = self._shard_slices
+        assert slices is not None
+        self._ub_cpu = [
+            float(self.avail_cpu[lo:hi].max()) if hi > lo else -np.inf
+            for lo, hi in slices
+        ]
+        self._ub_mem = [
+            float(self.avail_mem[lo:hi].max()) if hi > lo else -np.inf
+            for lo, hi in slices
+        ]
+
     def update(self, server: "Server") -> None:
         """Push one server's availability/allocation into the arrays.
 
@@ -124,6 +184,15 @@ class AvailabilityMirror:
         self.alloc_cpu[i] = alloc.cpu
         self.alloc_mem[i] = alloc.mem
         self.up[i] = server.up
+        if self._shard_of is not None:
+            # Stale-high bound: only growth (releases/recoveries) must
+            # be folded in immediately; shrink is tolerated until the
+            # next full block evaluation tightens the bound.
+            k = self._shard_of[i]
+            if avail.cpu > self._ub_cpu[k]:
+                self._ub_cpu[k] = avail.cpu
+            if avail.mem > self._ub_mem[k]:
+                self._ub_mem[k] = avail.mem
 
     def begin_coalesce(self) -> None:
         """Open a deferred-update window: ``update`` calls park servers
@@ -149,6 +218,8 @@ class AvailabilityMirror:
         avail_cpu, avail_mem = self.avail_cpu, self.avail_mem
         alloc_cpu, alloc_mem = self.alloc_cpu, self.alloc_mem
         up = self.up
+        shard_of = self._shard_of
+        ub_cpu, ub_mem = self._ub_cpu, self._ub_mem
         for i, server in pending.items():
             avail = server.available
             alloc = server.allocated
@@ -157,6 +228,12 @@ class AvailabilityMirror:
             alloc_cpu[i] = alloc.cpu
             alloc_mem[i] = alloc.mem
             up[i] = server.up
+            if shard_of is not None:
+                k = shard_of[i]
+                if avail.cpu > ub_cpu[k]:
+                    ub_cpu[k] = avail.cpu
+                if avail.mem > ub_mem[k]:
+                    ub_mem[k] = avail.mem
         pending.clear()
 
     # ------------------------------------------------------------------
@@ -195,6 +272,8 @@ class AvailabilityMirror:
         straggler-avoidance hook).  Equal scores resolve to the lowest
         server id.
         """
+        if weights is None and self._shard_slices is not None:
+            return self._best_fit_sharded(demand)
         fits = self.fitting_mask(demand)
         if not fits.any():
             return None
@@ -204,6 +283,53 @@ class AvailabilityMirror:
         scores[~fits] = -np.inf
         idx = int(np.argmax(scores))
         return idx, float(scores[idx])
+
+    def _best_fit_sharded(self, demand: Resources) -> tuple[int, float] | None:
+        """Blocked best-fit with bound pruning — bitwise-identical to the
+        dense kernel.
+
+        Blocks scan ascending; a block is skipped when its availability
+        bound proves no server in it fits, or no score in it can exceed
+        the current best (float multiplication/addition are weakly
+        monotone, so the bound expression ``d·ub`` dominates every
+        member's ``d·avail`` in IEEE arithmetic too).  The equality skip
+        (``<=``) is exact because an equal later-block score would lose
+        the lowest-id tie-break anyway.  Fully evaluating a block
+        tightens its bound as a byproduct.
+        """
+        if self._pending:
+            self.flush()
+        d_cpu, d_mem = demand.cpu, demand.mem
+        ub_cpu, ub_mem = self._ub_cpu, self._ub_mem
+        best_idx = -1
+        best_score = -np.inf
+        for k, (lo, hi) in enumerate(self._shard_slices):  # type: ignore[arg-type]
+            if hi <= lo:
+                continue
+            bc, bm = ub_cpu[k], ub_mem[k]
+            if bc + EPS < d_cpu or bm + EPS < d_mem:
+                continue
+            if best_idx >= 0 and d_cpu * bc + d_mem * bm <= best_score:
+                continue
+            a_c = self.avail_cpu[lo:hi]
+            a_m = self.avail_mem[lo:hi]
+            ub_cpu[k] = float(a_c.max())
+            ub_mem[k] = float(a_m.max())
+            fits = (
+                self.up[lo:hi] & (a_c + EPS >= d_cpu) & (a_m + EPS >= d_mem)
+            )
+            if not fits.any():
+                continue
+            scores = d_cpu * a_c + d_mem * a_m
+            scores[~fits] = -np.inf
+            j = int(np.argmax(scores))
+            s = float(scores[j])
+            if s > best_score:
+                best_idx = lo + j
+                best_score = s
+        if best_idx < 0:
+            return None
+        return best_idx, best_score
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -229,3 +355,17 @@ class AvailabilityMirror:
 
     def __len__(self) -> int:
         return len(self.cap_cpu)
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def __setstate__(self, state) -> None:
+        # __slots__ classes pickle as (None, {slot: value}); checkpoints
+        # written before sharding lack the shard slots — default them.
+        _, slots = state
+        slots.setdefault("_shard_slices", None)
+        slots.setdefault("_shard_of", None)
+        slots.setdefault("_ub_cpu", [])
+        slots.setdefault("_ub_mem", [])
+        for name, value in slots.items():
+            setattr(self, name, value)

@@ -1,0 +1,176 @@
+"""Sharded-engine determinism smoke (CI gate, DESIGN.md §5.10).
+
+Drives the same short chaos-profile DollyMP² simulation as the
+engine smoke — the paper's 30-node testbed under the fault-smoke churn
+profile, 5-second slots — twice: once on the plain single-heap engine
+(K=1) and once with four event-queue shards (K=4).  The merge barrier's
+contract is that shard count is *invisible* in every output, so the
+gate demands byte-identity, not statistical closeness:
+
+* ``SimulationResult`` values must replay-compare identical;
+* the decision journals must be equal, and their JSONL serializations
+  byte-equal once the ``shard`` provenance field is stripped (shard
+  provenance is the *only* sanctioned K-dependent output);
+* the K=4 run must actually attribute decisions to shards — a gate
+  that passes with provenance silently absent is vacuous;
+* a K=4 run checkpointed mid-flight and revived must finish with the
+  same result as the uninterrupted K=4 run (shard state survives the
+  freeze/revive cycle).
+
+Run:  PYTHONPATH=src python -m repro.devtools.shard_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.cluster.heterogeneity import paper_cluster_30_nodes
+from repro.core.online import DollyMPScheduler
+from repro.devtools.fault_smoke import SMOKE_PROFILE
+from repro.sim.checkpoint import checkpoint_bytes, restore_bytes
+from repro.sim.engine import SimulationEngine
+from repro.sim.replay import ReplayDivergence, assert_replay_identical
+from repro.workload.mapreduce import pagerank_job, wordcount_job
+
+__all__ = ["main", "SMOKE_SHARDS", "SPLIT_TIME"]
+
+#: The sharded leg's K.  Four shards over 30 servers gives uneven slice
+#: sizes (8/8/7/7), so the balanced-partition inversion is exercised on
+#: the awkward non-divisible case, not just the round one.
+SMOKE_SHARDS = 4
+
+#: Mid-run instant for the checkpoint/revive leg — far enough in that
+#: shard queues hold in-flight COPY_FINISH events, well before the tail.
+SPLIT_TIME = 100.0
+
+
+def _make_jobs():
+    jobs = []
+    for i in range(10):
+        if i % 2 == 0:
+            jobs.append(wordcount_job(4.0, arrival_time=40.0 * i, job_id=i))
+        else:
+            jobs.append(pagerank_job(1.0, arrival_time=40.0 * i, job_id=i))
+    return jobs
+
+
+def _make_engine(shards: int) -> SimulationEngine:
+    return SimulationEngine(
+        paper_cluster_30_nodes(),
+        DollyMPScheduler(max_clones=2),
+        _make_jobs(),
+        seed=7,
+        schedule_interval=5.0,
+        max_time=1e9,
+        sanitize=True,
+        record_trace=True,
+        fault_profile=SMOKE_PROFILE,
+        shards=shards,
+    )
+
+
+def _strip_shard_jsonl(trace) -> list[str]:
+    """The trace's decision lines with the provenance field normalized
+    away — the one field the sharded run is allowed to add."""
+    return [replace(d, shard=None).to_json() for d in trace.decisions]
+
+
+def main() -> int:
+    dense = _make_engine(1)
+    dense_result = dense.run()
+    sharded = _make_engine(SMOKE_SHARDS)
+    sharded_result = sharded.run()
+
+    # The gate must not be vacuous: chaos has to fire, the workload has
+    # to finish despite it, and the sharded leg must attribute shards.
+    if len(dense_result.records) != len(_make_jobs()):
+        print(
+            f"shard-smoke: expected {len(_make_jobs())} finished jobs, "
+            f"got {len(dense_result.records)}",
+            file=sys.stderr,
+        )
+        return 1
+    if dense_result.faults_injected == 0:
+        print(
+            "shard-smoke: chaos profile injected no faults — the sharded "
+            "fault ordering goes unexercised",
+            file=sys.stderr,
+        )
+        return 1
+    attributed = {
+        d.shard for d in sharded.trace.decisions if d.shard is not None
+    }
+    if len(attributed) < 2:
+        print(
+            f"shard-smoke: K={SMOKE_SHARDS} run attributed decisions to "
+            f"shards {sorted(attributed)} — provenance is (near-)absent, "
+            "the identity check would be vacuous",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        assert_replay_identical(dense_result, sharded_result)
+    except ReplayDivergence as exc:
+        print(
+            f"shard-smoke: K=1 vs K={SMOKE_SHARDS} results diverged — {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if sharded.trace.decisions != dense.trace.decisions:
+        print(
+            f"shard-smoke: K={SMOKE_SHARDS} produced a different decision "
+            "journal than K=1 — the merge barrier reordered the schedule",
+            file=sys.stderr,
+        )
+        return 1
+    dense_lines = _strip_shard_jsonl(dense.trace)
+    sharded_lines = _strip_shard_jsonl(sharded.trace)
+    if dense_lines != sharded_lines:
+        first = next(
+            i for i, (a, b) in enumerate(zip(dense_lines, sharded_lines)) if a != b
+        )
+        print(
+            f"shard-smoke: trace JSONL differs beyond the shard field at "
+            f"decision {first}:\n  K=1: {dense_lines[first]}\n  "
+            f"K={SMOKE_SHARDS}: {sharded_lines[first]}",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Mid-run freeze/revive of the sharded engine: the revived run must
+    # land exactly where the uninterrupted one did.
+    interrupted = _make_engine(SMOKE_SHARDS)
+    interrupted.run_until(SPLIT_TIME)
+    blob, info = checkpoint_bytes(interrupted)
+    if info.shards != SMOKE_SHARDS:
+        print(
+            f"shard-smoke: checkpoint recorded shards={info.shards}, "
+            f"expected {SMOKE_SHARDS}",
+            file=sys.stderr,
+        )
+        return 1
+    revived = restore_bytes(blob)
+    revived_result = revived.run()
+    try:
+        assert_replay_identical(sharded_result, revived_result)
+    except ReplayDivergence as exc:
+        print(
+            f"shard-smoke: revived K={SMOKE_SHARDS} run diverged from the "
+            f"uninterrupted one — {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"shard-smoke: K=1 and K={SMOKE_SHARDS} byte-identical over "
+        f"{len(dense_lines)} decisions ({len(attributed)} shards "
+        f"attributed, {dense_result.faults_injected} faults injected); "
+        f"mid-run checkpoint at t={SPLIT_TIME:g} revived identically"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

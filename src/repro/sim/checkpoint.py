@@ -78,6 +78,9 @@ class CheckpointInfo:
     arrivals_consumed: int
     scheduler: str
     digest: str
+    # Shard count of the frozen session (DESIGN.md §5.10).  Defaults to
+    # 1 so v1 checkpoints written before sharding still summarize.
+    shards: int = 1
 
     def to_dict(self) -> dict:
         return {
@@ -90,6 +93,7 @@ class CheckpointInfo:
             "arrivals_consumed": self.arrivals_consumed,
             "scheduler": self.scheduler,
             "digest": self.digest,
+            "shards": self.shards,
         }
 
 
@@ -104,6 +108,7 @@ def _info_for(engine: "SimulationEngine", digest: str) -> CheckpointInfo:
         arrivals_consumed=engine.arrivals.consumed,
         scheduler=engine.scheduler.name,
         digest=digest,
+        shards=getattr(engine, "shards", 1),
     )
 
 

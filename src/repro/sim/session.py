@@ -64,33 +64,60 @@ class SimulationSession:
         self.on_metrics = on_metrics
         self.metrics_every = metrics_every
         self.checkpoints_written = 0
-        self._next_checkpoint = self._first_boundary(checkpoint_every)
-        self._next_metrics = self._first_boundary(metrics_every)
+        # Cadence grids are kept as *integer boundary indices* into the
+        # multiplicative grid {k·every}: the float boundary is always
+        # recomputed as k*every, never accumulated with +=, so a session
+        # revived at any instant lands on bit-identical boundaries (an
+        # accumulated grid drifts ulps away from the restore grid and
+        # double-fires or skips a cadence point).
+        self._ckpt_k = self._first_index(checkpoint_every)
+        self._metrics_k = self._first_index(metrics_every)
 
-    def _first_boundary(self, every: float) -> float:
-        """First cadence boundary strictly after the engine's clock —
-        restore-stable: a session revived at t resumes the grid at the
-        next multiple, exactly where the uninterrupted session would."""
+    def _first_index(self, every: float) -> int:
+        """Smallest k with ``k*every`` strictly after the engine clock.
+
+        ``int(now // every) + 1`` alone is not strictly-after in float
+        arithmetic: the product can round back onto the clock (e.g.
+        ``50 * 0.1 == 5.0`` with ``now == 5.0``), which made a cadence
+        point coinciding with an event time fire twice.  The correction
+        loop (at most a step or two) restores the strict inequality.
+        """
         if every <= 0:
+            return 0
+        now = self.engine.now
+        k = int(now // every) + 1
+        while k * every <= now:
+            k += 1
+        return k
+
+    @property
+    def _next_checkpoint(self) -> float:
+        """Next checkpoint boundary (inf when cadence disabled)."""
+        if self.checkpoint_every <= 0:
             return float("inf")
-        k = int(self.engine.now // every) + 1
-        return k * every
+        return self._ckpt_k * self.checkpoint_every
+
+    @property
+    def _next_metrics(self) -> float:
+        if self.metrics_every <= 0:
+            return float("inf")
+        return self._metrics_k * self.metrics_every
 
     # ------------------------------------------------------------------
     def _after_step(self) -> None:
         now = self.engine.now
         if self.checkpoint_path is not None and self.checkpoint_every > 0:
-            if now >= self._next_checkpoint:
+            if now >= self._ckpt_k * self.checkpoint_every:
                 save_checkpoint(self.engine, self.checkpoint_path)
                 self.checkpoints_written += 1
-                while self._next_checkpoint <= now:
-                    self._next_checkpoint += self.checkpoint_every
+                while self._ckpt_k * self.checkpoint_every <= now:
+                    self._ckpt_k += 1
         if self.on_metrics is not None:
-            if self.metrics_every <= 0 or now >= self._next_metrics:
+            if self.metrics_every <= 0 or now >= self._metrics_k * self.metrics_every:
                 self.on_metrics(self.engine)
                 if self.metrics_every > 0:
-                    while self._next_metrics <= now:
-                        self._next_metrics += self.metrics_every
+                    while self._metrics_k * self.metrics_every <= now:
+                        self._metrics_k += 1
 
     def pump(self) -> int:
         """Step the engine until no runnable event remains, applying the

@@ -1,0 +1,256 @@
+"""Server sharding: partition map + sharded event queue (DESIGN.md §5.10).
+
+The sharded engine partitions the cluster's servers into K shards.  Each
+shard owns a local event heap (server-scoped events: copy finishes and
+failures, server crash/recover/slowdown churn) and a mirror slice (the
+per-shard availability bounds driving the blocked placement kernels in
+:mod:`repro.cluster.mirror` and :mod:`repro.schedulers.packing`).
+Cluster-wide events — job arrivals and schedule ticks — live in a
+dedicated *global lane* beside the server shards.
+
+Determinism argument (the merge barrier)
+----------------------------------------
+
+Every event still receives its sequence number from **one shared
+counter**, exactly as the single-heap :class:`~repro.sim.events.
+EventQueue` does.  The drain merges shard heads by the same total order
+key ``(time, kind, seq)``: :meth:`ShardedEventQueue.pop` pops the
+minimum head across lanes, and :meth:`ShardedEventQueue.pop_batch`
+collects every lane's events at the earliest timestamp and merge-sorts
+them by ``(kind, seq)``.  Because a deterministic run performs pushes in
+an identical order regardless of K, the merged drain order is *equal* —
+not just equivalent — to the single-heap pop order, so every RNG draw,
+decision point and journal entry lands identically for any K.  K=1
+degenerates to one shard lane plus the global lane, and the engine keeps
+using the plain :class:`~repro.sim.events.EventQueue` there so the
+default configuration is byte-for-byte the pre-shard engine.
+
+Cross-shard effects need no locks or message passing in this in-process
+design: clone placements spanning shards and fault churn all mutate
+state through the engine's single ``apply`` choke point, and the merge
+barrier alone fixes their interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.events import Event, EventKind
+
+__all__ = ["ShardMap", "ShardedEventQueue", "GLOBAL_LANE_KINDS"]
+
+
+#: Cluster-wide event kinds routed to the global lane rather than a
+#: server shard: arrivals name a job, ticks name nobody.
+GLOBAL_LANE_KINDS = frozenset({EventKind.JOB_ARRIVAL, EventKind.SCHEDULE_TICK})
+
+
+class ShardMap:
+    """Deterministic assignment of server ids to K shards.
+
+    The default partition is *contiguous and balanced*: shard ``k`` owns
+    server ids ``[k*M//K, (k+1)*M//K)``.  Contiguity is what lets the
+    availability mirror treat each shard as an array slice; an explicit
+    ``assignment`` (tests exercise random maps) is accepted too, in
+    which case the mirror falls back to dense kernels while event-queue
+    sharding still applies.
+    """
+
+    __slots__ = ("num_servers", "shards", "_assignment", "_slices")
+
+    def __init__(
+        self,
+        num_servers: int,
+        shards: int,
+        *,
+        assignment: Sequence[int] | None = None,
+    ) -> None:
+        if num_servers < 0:
+            raise ValueError(f"num_servers must be non-negative, got {num_servers}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.num_servers = num_servers
+        self.shards = shards
+        if assignment is None:
+            self._assignment: np.ndarray | None = None
+            self._slices: list[tuple[int, int]] | None = [
+                (k * num_servers // shards, (k + 1) * num_servers // shards)
+                for k in range(shards)
+            ]
+        else:
+            arr = np.asarray(assignment, dtype=np.int64)
+            if arr.shape != (num_servers,):
+                raise ValueError(
+                    f"assignment must map all {num_servers} servers, "
+                    f"got shape {arr.shape}"
+                )
+            if arr.size and (arr.min() < 0 or arr.max() >= shards):
+                raise ValueError(
+                    f"assignment values must lie in [0, {shards}), "
+                    f"got range [{arr.min()}, {arr.max()}]"
+                )
+            self._assignment = arr
+            # An explicit map that happens to be the contiguous balanced
+            # partition is recognized so the fast mirror path still
+            # engages.
+            default = np.repeat(
+                np.arange(shards, dtype=np.int64),
+                np.diff([k * num_servers // shards for k in range(shards + 1)]),
+            )
+            if np.array_equal(arr, default):
+                self._assignment = None
+                self._slices = [
+                    (k * num_servers // shards, (k + 1) * num_servers // shards)
+                    for k in range(shards)
+                ]
+            else:
+                self._slices = None
+
+    # -- queries --------------------------------------------------------
+    @property
+    def contiguous(self) -> bool:
+        """Whether shards are contiguous server-id ranges (mirror slices)."""
+        return self._slices is not None
+
+    @property
+    def slices(self) -> list[tuple[int, int]]:
+        """Per-shard ``(lo, hi)`` id ranges (contiguous maps only)."""
+        if self._slices is None:
+            raise ValueError("non-contiguous shard map has no slices")
+        return list(self._slices)
+
+    def shard_of(self, server_id: int) -> int:
+        if not 0 <= server_id < self.num_servers:
+            raise IndexError(
+                f"server id {server_id} outside [0, {self.num_servers})"
+            )
+        if self._assignment is not None:
+            return int(self._assignment[server_id])
+        # Invert the balanced partition in O(1): shard k owns ids
+        # [floor(kM/K), floor((k+1)M/K)), and both inequalities reduce to
+        # k = ceil((i+1)K/M) - 1 — runs on every event push and every
+        # journaled decision, so no scan.
+        return ((server_id + 1) * self.shards - 1) // self.num_servers
+
+    def indices(self, shard: int) -> np.ndarray:
+        """Server ids owned by ``shard`` (ascending)."""
+        if not 0 <= shard < self.shards:
+            raise IndexError(f"shard {shard} outside [0, {self.shards})")
+        if self._assignment is not None:
+            return np.flatnonzero(self._assignment == shard)
+        lo, hi = self._slices[shard]  # type: ignore[index]
+        return np.arange(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "contiguous" if self.contiguous else "explicit"
+        return f"ShardMap({self.num_servers} servers, K={self.shards}, {shape})"
+
+
+class ShardedEventQueue:
+    """K per-shard heaps + a global lane, drained in merged global order.
+
+    Drop-in replacement for :class:`~repro.sim.events.EventQueue`
+    (same drain API, RL008 applies equally): ``push`` routes each event
+    to its owning lane by kind/payload, and the pop family merges lane
+    heads on the shared ``(time, kind, seq)`` key — see the module
+    docstring for why this reproduces the single-heap order exactly.
+    """
+
+    def __init__(self, shard_map: ShardMap) -> None:
+        self.shard_map = shard_map
+        # Lane K is the global lane (arrivals, ticks).
+        self._lanes: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(shard_map.shards + 1)
+        ]
+        self._seq = itertools.count()
+        self._len = 0
+
+    # -- routing --------------------------------------------------------
+    def lane_of(self, kind: EventKind, payload: Any) -> int:
+        """Owning lane index: the payload server's shard, or the global
+        lane for cluster-wide kinds."""
+        if kind in GLOBAL_LANE_KINDS or payload is None:
+            return self.shard_map.shards
+        server_id = getattr(payload, "server_id", None)
+        if server_id is None:
+            return self.shard_map.shards
+        return self.shard_map.shard_of(server_id)
+
+    # -- EventQueue drain API -------------------------------------------
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        ev = Event(time, kind, next(self._seq), payload)
+        heapq.heappush(self._lanes[self.lane_of(kind, payload)], (time, kind, ev.seq, ev))
+        self._len += 1
+        return ev
+
+    def _min_lane(self) -> int:
+        """Index of the lane whose head has the smallest (time, kind, seq)."""
+        # Heap entries compare by (time, kind, seq) before ever reaching
+        # the Event member (seqs are unique), so whole entries order the
+        # lanes without slicing out a key tuple per probe.
+        best = -1
+        best_entry = None
+        for i, lane in enumerate(self._lanes):
+            if lane and (best_entry is None or lane[0] < best_entry):
+                best, best_entry = i, lane[0]
+        return best
+
+    def pop(self) -> Event:
+        i = self._min_lane()
+        if i < 0:
+            raise IndexError("pop from empty event queue")
+        self._len -= 1
+        return heapq.heappop(self._lanes[i])[3]
+
+    def pop_batch(self) -> list[Event]:
+        """Every event at the earliest timestamp, merged into the exact
+        (time, kind, seq) pop order — the merge barrier."""
+        if self._len == 0:
+            raise IndexError("pop from empty event queue")
+        t = min(lane[0][0] for lane in self._lanes if lane)
+        # Equal-time entries sort by (kind, seq) when compared whole —
+        # exactly the merge key — so the raw heap tuples need no
+        # repacking and no key function.
+        merged: list[tuple[float, int, int, Event]] = []
+        for lane in self._lanes:
+            while lane and lane[0][0] == t:
+                merged.append(heapq.heappop(lane))
+        if len(merged) > 1:
+            merged.sort()
+        self._len -= len(merged)
+        return [e[3] for e in merged]
+
+    def peek(self) -> Optional[Event]:
+        i = self._min_lane()
+        return self._lanes[i][0][3] if i >= 0 else None
+
+    def peek_time(self) -> Optional[float]:
+        i = self._min_lane()
+        return self._lanes[i][0][0] if i >= 0 else None
+
+    def peek_key(self) -> Optional[tuple[float, int, int]]:
+        i = self._min_lane()
+        return self._lanes[i][0][:3] if i >= 0 else None
+
+    def has_kind(self, kind: EventKind) -> bool:
+        return any(entry[1] == kind for lane in self._lanes for entry in lane)
+
+    def lane_sizes(self) -> list[int]:
+        """Pending events per lane (K shard lanes + the global lane) —
+        observability for the shard benchmark and smoke gates."""
+        return [len(lane) for lane in self._lanes]
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid
+        raise TypeError("event queues are drained via pop/pop_batch (RL008)")
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0

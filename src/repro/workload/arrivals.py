@@ -215,12 +215,14 @@ class JsonlSource(ArrivalSource):
     restored session re-reading the same stream materializes identical
     jobs — the process-global job counter is not stable across legs.
 
-    Checkpointable by detaching: pickling keeps only the consumed count
-    and ordering watermark; the revived source reports ``exhausted`` =
-    False but refuses :meth:`take` until :meth:`attach` re-binds a line
-    iterator (``skip_consumed=True`` fast-forwards a stream restarted
-    from the beginning; pass False when the stream itself resumes
-    mid-way, e.g. a still-open socket).
+    Checkpointable by detaching: pickling keeps the consumed count, the
+    ordering watermark and the (terminal) exhaustion flag; a revived
+    mid-stream source refuses :meth:`take` until :meth:`attach` re-binds
+    a line iterator (``skip_consumed=True`` fast-forwards a stream
+    restarted from the beginning; pass False when the stream itself
+    resumes mid-way, e.g. a still-open socket).  A source revived from a
+    cut *after* end-of-stream stays exhausted — attach re-binds bytes,
+    it never un-ends the stream.
     """
 
     eager = False
@@ -277,7 +279,16 @@ class JsonlSource(ArrivalSource):
         return None
 
     def attach(self, lines: Iterable[str], *, skip_consumed: bool = True) -> None:
-        """Re-bind a line iterator after a checkpoint restore."""
+        """Re-bind a line iterator after a checkpoint restore.
+
+        Exhaustion is terminal: a checkpoint cut *after* end-of-stream
+        revives with ``exhausted`` already True, and attach keeps it
+        that way.  Clearing the flag here (the historical behaviour)
+        made ``workload_active()`` count the source as pending work
+        forever, so the fault-renewal chain never wound down and the
+        restored leg drained clear to ``max_time`` instead of stopping
+        where the original run stopped.
+        """
         it = iter(lines)
         if skip_consumed:
             seen = 0
@@ -291,7 +302,6 @@ class JsonlSource(ArrivalSource):
                 if line.strip():
                     seen += 1
         self._lines = it
-        self._exhausted = False
 
     @property
     def exhausted(self) -> bool:

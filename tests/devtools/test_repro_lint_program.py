@@ -30,7 +30,11 @@ from tools.repro_lint import (
     build_program_graph,
     lint_paths,
 )
-from tools.repro_lint.baseline import BaselineError, fingerprint_violations
+from tools.repro_lint.baseline import (
+    BaselineError,
+    fingerprint_violations,
+    is_baselineable,
+)
 from tools.repro_lint.engine import Violation
 
 FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "taint_tree"
@@ -228,6 +232,41 @@ def test_baseline_partition_and_update(tmp_path):
     assert [v.message for v in new] == ["fresh"]
     assert [v.message for v in baselined] == ["kept"]
     assert len(stale) == 1  # the pin for "fixed" no longer matches
+
+
+def test_rl014_under_engine_packages_is_unbaselineable(tmp_path):
+    """RL014 in src/repro/sim/ or src/repro/cluster/ is a hard failure:
+    a pin for it — even one hand-edited into the file — is ignored, and
+    --update-baseline's rewrite refuses to create one."""
+    path = tmp_path / "baseline.json"
+    sim = _violation(path="src/repro/sim/engine.py", message="global leak")
+    cluster = _violation(path="src/repro/cluster/mirror.py", message="global leak")
+    elsewhere = _violation(path="src/repro/workload/arrivals.py", message="global leak")
+
+    written = Baseline.load(None).updated([sim, cluster, elsewhere])
+    assert len(written.entries) == 1  # only the workload finding pinned
+    assert next(iter(written.entries.values()))["path"] == elsewhere.relpath
+
+    # Forge pins for all three; the engine-package ones must not waive.
+    forged = Baseline(
+        path=path,
+        entries={
+            fp: {"rule": v.rule, "path": v.relpath, "message": v.message}
+            for v, fp in zip(
+                [sim, cluster, elsewhere],
+                fingerprint_violations([sim, cluster, elsewhere]),
+            )
+        },
+    )
+    new, baselined, _stale = forged.partition([sim, cluster, elsewhere])
+    assert {v.relpath for v in new} == {sim.relpath, cluster.relpath}
+    assert [v.relpath for v in baselined] == [elsewhere.relpath]
+
+    # Other rules in those packages stay baselineable.
+    assert is_baselineable("RL010", "src/repro/sim/engine.py")
+    assert not is_baselineable("RL014", "src/repro/sim/engine.py")
+    assert not is_baselineable("RL014", "src/repro/cluster/mirror.py")
+    assert is_baselineable("RL014", "src/repro/workload/arrivals.py")
 
 
 def test_baseline_update_preserves_justifications(tmp_path):

@@ -188,3 +188,53 @@ class TestFiles:
         path.write_bytes(pickle.dumps({"format": "something-else"}))
         with pytest.raises(ValueError, match="not a repro-checkpoint"):
             load_checkpoint(path)
+
+
+class TestJsonlEveryCutIdentity:
+    """PR 10 bugfix pin: ``attach(skip_consumed=True)`` after restore
+    must preserve replay identity at *every* cut of the stream —
+    including cuts after end-of-stream, where the historical attach
+    cleared the terminal exhaustion flag, kept ``workload_active()``
+    true forever, and let the chaos fault-renewal chain run the drain
+    away to ``max_time``."""
+
+    def test_attach_keeps_exhausted_source_ended(self):
+        import pickle
+
+        specs = trace_specs(n=3)
+        lines = [json.dumps(spec_to_dict(s)) for s in specs]
+        src = JsonlSource(iter(lines))
+        while src.take() is not None:
+            pass
+        assert src.exhausted
+        revived = pickle.loads(pickle.dumps(src))
+        assert revived.exhausted
+        revived.attach(iter(lines), skip_consumed=True)
+        assert revived.exhausted  # attach re-binds bytes, never un-ends
+        assert revived.take() is None
+        assert revived.consumed == len(lines)
+
+    def test_restore_identity_at_every_line_index(self):
+        specs = trace_specs(n=20, seed=5, gap=8.0)
+        lines = [json.dumps(spec_to_dict(s)) for s in specs]
+
+        def mk(jobs):
+            return mk_engine(
+                jobs=jobs,
+                fault_profile=FAULT_PROFILES["chaos"],
+                churn_seed=3,
+            )
+
+        ref = mk(JsonlSource(iter(lines))).run().deterministic()
+        for cut in range(len(lines) + 1):
+            engine = mk(JsonlSource(iter(lines)))
+            engine.start()
+            while engine.arrivals.consumed < cut and engine.events:
+                engine.step()
+            revived = restore_bytes(checkpoint_bytes(engine)[0])
+            # a runaway leg (the historical bug) dies here instead of
+            # hanging: the uninterrupted run ends well before this bound
+            revived.max_time = ref.simulated_time + 10_000.0
+            revived.arrivals.attach(iter(lines), skip_consumed=True)
+            revived.drain()
+            assert revived.finalize().deterministic() == ref, f"cut at line {cut}"

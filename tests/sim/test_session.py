@@ -286,3 +286,74 @@ class TestSessionDriver:
         # boundaries are non-decreasing and spaced >= cadence (bar the
         # forced final publication)
         assert all(b >= a for a, b in zip(calls, calls[1:]))
+
+
+class TestBoundarySemantics:
+    """Regression pins for the cadence/boundary bug sweep (PR 10): events
+    stamped exactly at ``t`` must not leak through an exclusive
+    ``run_until``, and the session cadence grid must neither double-fire
+    nor skip when a cadence point coincides with an event time — even
+    across a mid-run restore cut exactly at the boundary instant."""
+
+    def test_run_until_exclusive_holds_events_stamped_at_bound(self, small_cluster):
+        early = make_single_task_job(theta=20.0, arrival_time=0.0, job_id=1)
+        at_bound = make_single_task_job(theta=20.0, arrival_time=5.0, job_id=2)
+        engine = SimulationEngine(small_cluster, FIFOScheduler(), [early, at_bound])
+        engine.run_until(5.0, inclusive=False)
+        assert engine.now < 5.0
+        assert 2 not in engine.active_jobs  # the t=5.0 arrival did not leak
+        engine.run_until(5.0)
+        assert engine.now == 5.0
+        assert 2 in engine.active_jobs
+
+    def test_first_cadence_boundary_strictly_after_clock(self, tmp_path):
+        # 50 * 0.1 rounds to exactly 5.0, so the naive int(now//every)+1
+        # grid landed *on* the clock instead of strictly after it.
+        job = make_single_task_job(theta=1.0, arrival_time=5.0, job_id=1)
+        engine = mk_engine([job])
+        engine.run_until(5.0)
+        assert engine.now == 5.0
+        session = SimulationSession(
+            engine, checkpoint_path=tmp_path / "c.bin", checkpoint_every=0.1
+        )
+        assert session._next_checkpoint > engine.now
+        session2 = SimulationSession(engine, on_metrics=lambda e: None,
+                                     metrics_every=0.1)
+        assert session2._next_metrics > engine.now
+
+    def test_cadence_grid_stable_across_restore_at_boundary_instant(self):
+        from repro.sim.checkpoint import checkpoint_bytes, restore_bytes
+
+        def jobs():
+            return [
+                make_single_task_job(theta=30.0, arrival_time=0.0, job_id=1),
+                # the cut instant: event time == cadence point (50 * 0.1 == 5.0)
+                make_single_task_job(theta=30.0, arrival_time=5.0, job_id=2),
+                # an instant strictly inside (5.0, 5.1): a drifted or
+                # non-strict grid fires here, the true grid must not
+                make_single_task_job(theta=30.0, arrival_time=5.05, job_id=3),
+                make_single_task_job(theta=30.0, arrival_time=9.5, job_id=4),
+            ]
+
+        uninterrupted = []
+        SimulationSession(
+            mk_engine(jobs()),
+            on_metrics=lambda e: uninterrupted.append(e.now),
+            metrics_every=0.1,
+        ).run()
+
+        engine = mk_engine(jobs())
+        engine.run_until(5.0)
+        assert engine.now == 5.0
+        revived = restore_bytes(checkpoint_bytes(engine)[0])
+        resumed = []
+        SimulationSession(
+            revived,
+            on_metrics=lambda e: resumed.append(e.now),
+            metrics_every=0.1,
+        ).run()
+        # the revived session re-derives the grid from the clock; every
+        # publication after the cut must land on the same instants the
+        # uninterrupted session used (bar the forced final publication,
+        # present in both).
+        assert resumed == [t for t in uninterrupted if t > 5.0]

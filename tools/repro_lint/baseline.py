@@ -43,9 +43,33 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from tools.repro_lint.engine import Violation
 
-__all__ = ["Baseline", "BaselineError", "fingerprint_violations"]
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "fingerprint_violations",
+    "is_baselineable",
+]
 
 _FORMAT = "repro-lint-baseline/v1"
+
+#: (rule, path-prefix) pairs that may never be pinned.  RL014 findings
+#: under the sharded engine's own packages are hard failures: process-
+#: global mutable state there breaks the merge-barrier determinism
+#: contract (DESIGN.md §5.10) for every K, so there is no legitimate
+#: "accepted for now" — the state must move onto the engine/cluster
+#: instance.  ``--update-baseline`` refuses to pin these too.
+UNBASELINEABLE: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("RL014", ("src/repro/sim/", "src/repro/cluster/")),
+)
+
+
+def is_baselineable(rule: str, relpath: str) -> bool:
+    """Whether a finding may be waived through the committed baseline."""
+    posix = relpath.replace("\\", "/")
+    for blocked_rule, prefixes in UNBASELINEABLE:
+        if rule == blocked_rule and posix.startswith(prefixes):
+            return False
+    return True
 
 
 class BaselineError(ValueError):
@@ -101,13 +125,15 @@ class Baseline:
 
         ``stale`` fingerprints are entries no current finding matches —
         the pinned code was fixed or moved, and the pin should be
-        deleted (``--update-baseline`` does)."""
+        deleted (``--update-baseline`` does).  Findings on the
+        :data:`UNBASELINEABLE` list are *always* new: a matching pin
+        (hand-edited into the file) is ignored rather than honoured."""
         fps = fingerprint_violations(violations)
         new: list["Violation"] = []
         baselined: list["Violation"] = []
         hit: set[str] = set()
         for v, fp in zip(violations, fps):
-            if fp in self.entries:
+            if fp in self.entries and is_baselineable(v.rule, v.relpath):
                 baselined.append(v)
                 hit.add(fp)
             else:
@@ -117,9 +143,13 @@ class Baseline:
 
     def updated(self, violations: Sequence["Violation"]) -> "Baseline":
         """A baseline pinning exactly the current findings, carrying over
-        justifications for fingerprints that already had one."""
+        justifications for fingerprints that already had one.  Findings
+        on the :data:`UNBASELINEABLE` list are never pinned — they stay
+        hard failures no matter how the baseline is regenerated."""
         entries: dict[str, dict] = {}
         for v, fp in zip(violations, fingerprint_violations(violations)):
+            if not is_baselineable(v.rule, v.relpath):
+                continue
             old = self.entries.get(fp, {})
             entries[fp] = {
                 "rule": v.rule,
